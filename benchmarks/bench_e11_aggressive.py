@@ -1,0 +1,112 @@
+"""E11 — Aggressive vs conservative: the revocation trade-off.
+
+Reconstructs the extension study (the paper's future-work direction,
+fully developed in the authors' ICDE 2009 follow-up): optimistic
+emission buys zero latency at the price of compensation traffic that
+grows with disorder.
+
+Expected shape: revocations rise with the disorder rate; conservative
+latency is flat (~K-determined); both remain exactly correct *net*;
+the operator's choice is a latency-vs-churn dial, not a correctness one.
+"""
+
+import pytest
+
+from repro import AggressiveEngine, OutOfOrderEngine
+from repro.bench import oracle_truth
+from repro.metrics import render_table, summarize_arrival_latency
+from repro.streams import RandomDelayModel
+from repro.workloads import SyntheticWorkload
+
+from common import write_result
+
+RATES = [0.0, 0.1, 0.2, 0.4]
+K = 30
+EVENTS = 5000
+
+
+def _workload(rate: float):
+    disorder = RandomDelayModel(rate, K, seed=21) if rate else None
+    return SyntheticWorkload(
+        query_length=3,
+        event_count=EVENTS,
+        within=50,
+        partitions=6,
+        disorder=disorder,
+        negated_step=1,
+        include_negatives=0.15,
+        seed=22,
+    )
+
+
+def run_experiment() -> str:
+    rows = []
+    for rate in RATES:
+        workload = _workload(rate)
+        ordered, arrival = workload.generate()
+        truth = oracle_truth(workload.query, ordered)
+
+        conservative = OutOfOrderEngine(workload.query, k=K)
+        conservative.run(list(arrival))
+        aggressive = AggressiveEngine(workload.query, k=K)
+        aggressive.run(list(arrival))
+
+        cons_latency = summarize_arrival_latency(conservative.emissions, arrival)
+        aggr_latency = summarize_arrival_latency(aggressive.emissions, arrival)
+        churn = (
+            len(aggressive.revocations) / len(aggressive.results)
+            if aggressive.results
+            else 0.0
+        )
+        rows.append(
+            [
+                rate,
+                round(cons_latency.mean, 1),
+                round(aggr_latency.mean, 1),
+                len(aggressive.revocations),
+                round(churn, 4),
+                conservative.result_set() == truth,
+                aggressive.net_result_set() == truth,
+            ]
+        )
+    text = render_table(
+        f"E11 — aggressive vs conservative (negation query, n={EVENTS}, K={K})",
+        ["rate", "cons_latency", "aggr_latency", "revocations", "churn", "cons_exact", "aggr_exact"],
+        rows,
+        note="churn = revocations per emitted match; both strategies exact",
+    )
+    return write_result("e11_aggressive", text)
+
+
+def test_e11_report(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print(text)
+    rows = [
+        line.split()
+        for line in text.splitlines()
+        if line.strip() and line.strip()[0].isdigit()
+    ]
+    revocations = [int(r[3].replace(",", "")) for r in rows]
+    assert revocations[0] == 0  # no disorder, no compensation
+    assert max(revocations[1:]) > 0  # disorder produces compensation traffic
+    assert all(r[5] == "yes" and r[6] == "yes" for r in rows)
+    aggr_latency = [float(r[2]) for r in rows]
+    cons_latency = [float(r[1]) for r in rows]
+    assert all(a <= c for a, c in zip(aggr_latency, cons_latency))
+
+
+@pytest.mark.parametrize("strategy", ["conservative", "aggressive"])
+def test_e11_kernel(benchmark, strategy):
+    workload = _workload(0.2)
+    __, arrival = workload.generate()
+
+    def kernel():
+        if strategy == "conservative":
+            engine = OutOfOrderEngine(workload.query, k=K)
+        else:
+            engine = AggressiveEngine(workload.query, k=K)
+        engine.feed_many(arrival)
+        engine.close()
+        return len(engine.results)
+
+    benchmark(kernel)

@@ -1,0 +1,88 @@
+"""E7 — Scalability with query length (number of SEQ steps).
+
+Reconstructs the query-length table: SEQ(2) through SEQ(6) with a
+partition-equality chain, identical traces, all engines.
+
+Expected shape: cost grows with length for everyone (more stacks, more
+joins); the out-of-order engine's *overhead factor* over the in-order
+baseline stays roughly flat — disorder handling is per-event splice +
+probe work, not combinatorial — which is the paper's scalability story.
+"""
+
+import pytest
+
+from repro.bench import make_engine, run_cell
+from repro.metrics import render_table
+from repro.streams import RandomDelayModel
+from repro.workloads import SyntheticWorkload
+
+from common import write_result
+
+LENGTHS = [2, 3, 4, 5, 6]
+EVENTS = 5000
+K = 25
+ENGINES = ["inorder", "ooo", "reorder"]
+
+
+def _arrival(length: int):
+    workload = SyntheticWorkload(
+        query_length=length,
+        event_count=EVENTS,
+        within=30 * length,
+        partitions=10,
+        disorder=RandomDelayModel(0.2, K, seed=13),
+        seed=14,
+    )
+    __, arrival = workload.generate()
+    return workload.query, arrival
+
+
+def run_experiment() -> str:
+    rows = []
+    for length in LENGTHS:
+        query, arrival = _arrival(length)
+        row = [length]
+        eps = {}
+        for name in ENGINES:
+            cell = run_cell(make_engine(name, query, k=K), arrival)
+            eps[name] = cell["events_per_sec"]
+            if name == "ooo":
+                matches = cell["matches"]
+        for name in ENGINES:
+            row.append(int(eps[name]))
+        row.append(round(eps["inorder"] / max(eps["ooo"], 1), 2))
+        row.append(matches)
+        rows.append(row)
+    text = render_table(
+        f"E7 — query length scalability (n={EVENTS}, 20% disorder, K={K})",
+        ["steps", "inorder_eps", "ooo_eps", "reorder_eps", "ooo_overhead_x", "matches"],
+        rows,
+        note="overhead_x = inorder eps / ooo eps; flat factor = paper's claim",
+    )
+    return write_result("e7_query_length", text)
+
+
+def test_e7_report(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print(text)
+    rows = [
+        line.split()
+        for line in text.splitlines()
+        if line.strip() and line.strip()[0].isdigit()
+    ]
+    overheads = [float(row[4]) for row in rows]
+    # Overhead factor stays bounded (no combinatorial blow-up from disorder).
+    assert max(overheads) < 4.0
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_e7_kernel(benchmark, length):
+    query, arrival = _arrival(length)
+
+    def kernel():
+        engine = make_engine("ooo", query, k=K)
+        engine.feed_many(arrival)
+        engine.close()
+        return len(engine.results)
+
+    benchmark(kernel)

@@ -1,0 +1,102 @@
+"""E8 — Negation queries under disorder.
+
+Reconstructs the negation table: the conservative sealing mechanism is
+where out-of-order support earns correctness that the in-order
+architecture cannot provide at any cost.
+
+Expected shape: in-order precision drops with disorder rate (premature
+emissions that a late negative would have blocked) and recall drops
+too; the out-of-order engine stays exact, paying a bounded emission
+delay (≈K); the aggressive engine is exact *net of revocations* with
+zero delay.
+"""
+
+import pytest
+
+from repro.bench import make_engine, run_cell
+from repro.metrics import render_table
+from repro.streams import RandomDelayModel
+from repro.workloads import SyntheticWorkload
+
+from common import write_result
+
+RATES = [0.0, 0.1, 0.3, 0.5]
+K = 30
+EVENTS = 5000
+
+
+def _workload(rate: float):
+    disorder = RandomDelayModel(rate, K, seed=15) if rate else None
+    return SyntheticWorkload(
+        query_length=3,
+        event_count=EVENTS,
+        within=50,
+        partitions=6,
+        disorder=disorder,
+        negated_step=1,
+        include_negatives=0.15,
+        seed=16,
+    )
+
+
+def run_experiment() -> str:
+    from repro.bench import oracle_truth
+
+    rows = []
+    for rate in RATES:
+        workload = _workload(rate)
+        ordered, arrival = workload.generate()
+        truth = oracle_truth(workload.query, ordered)
+        for name in ("inorder", "ooo", "aggressive"):
+            engine = make_engine(name, workload.query, k=K)
+            cell = run_cell(engine, arrival, truth)
+            rows.append(
+                [
+                    rate,
+                    name,
+                    round(cell["recall"], 3),
+                    round(cell["precision"], 3),
+                    round(cell["lat_arrival_mean"], 1),
+                    cell["revocations"],
+                ]
+            )
+    text = render_table(
+        f"E8 — negation under disorder (SEQ(T1,!N,T2,T3), n={EVENTS}, K={K})",
+        ["rate", "engine", "recall", "precision", "mean_latency", "revocations"],
+        rows,
+        note="aggressive is judged on net output (emissions minus revocations)",
+    )
+    return write_result("e8_negation", text)
+
+
+def test_e8_report(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print(text)
+    rows = [
+        line.split()
+        for line in text.splitlines()
+        if line.strip() and line.strip()[0].isdigit() and len(line.split()) == 6
+    ]
+    for row in rows:
+        rate, engine, recall, precision = float(row[0]), row[1], float(row[2]), float(row[3])
+        if engine in ("ooo", "aggressive"):
+            assert recall == 1.0 and precision == 1.0, row
+        elif rate >= 0.3:
+            assert recall < 1.0 or precision < 1.0, row
+    # in-order precision at the top rate must show false positives
+    top_inorder = [r for r in rows if r[1] == "inorder" and float(r[0]) == 0.5]
+    assert float(top_inorder[0][3]) < 1.0
+
+
+@pytest.mark.parametrize("engine_name", ["ooo", "aggressive"])
+def test_e8_kernel(benchmark, engine_name):
+    workload = _workload(0.3)
+    __, arrival = workload.generate()
+
+    def kernel():
+        engine = make_engine(engine_name, workload.query, k=K)
+        engine.feed_many(arrival)
+        engine.close()
+        return len(engine.results)
+
+    benchmark(kernel)

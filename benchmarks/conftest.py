@@ -1,0 +1,6 @@
+"""Make `from common import ...` work inside benchmarks/."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: pattern queries over an out-of-order stream in 60 lines.
+
+Run:  python examples/quickstart.py
+
+Walks through the library's core loop:
+1. write a pattern query in the SASE-style language;
+2. feed events whose ARRIVAL order differs from their OCCURRENCE order;
+3. watch the engine emit each match the moment its last piece arrives —
+   including matches completed by late events, which the classic
+   in-order architecture silently drops.
+"""
+
+from repro import Event, InOrderEngine, OutOfOrderEngine, parse
+
+# A three-step sequence with a join predicate and a time window: an
+# order is placed, paid, and shipped — same order id, within 100 ticks.
+QUERY = parse(
+    """
+    PATTERN SEQ(PLACED p, PAID y, SHIPPED s)
+    WHERE p.order == y.order AND y.order == s.order
+    WITHIN 100
+    """,
+    name="fulfilment",
+)
+
+# Occurrence order is p(1) → y(5) → s(9), but the payment event is
+# delayed in the network and ARRIVES last.
+ARRIVAL = [
+    Event("PLACED", 1, {"order": 7}),
+    Event("SHIPPED", 9, {"order": 7}),
+    Event("PAID", 5, {"order": 7}),  # late!
+]
+
+
+def main() -> None:
+    print("query:", QUERY)
+    print()
+
+    # The paper's engine: K is the disorder bound — a promise that an
+    # event is never delayed past K time units behind the stream clock.
+    engine = OutOfOrderEngine(QUERY, k=10)
+    print("feeding events in arrival order:")
+    for event in ARRIVAL:
+        emitted = engine.feed(event)
+        tag = "late" if event.ts < engine.clock.now else "    "
+        print(f"  [{tag}] {event.etype}@{event.ts}  ->  {emitted or '-'}")
+    engine.close()
+    print(f"out-of-order engine found {len(engine.results)} match(es)")
+    print()
+
+    # The same stream through the 2006 state of the art, which assumes
+    # arrival order == occurrence order:
+    baseline = InOrderEngine(QUERY)
+    baseline.run(list(ARRIVAL))
+    print(f"in-order baseline found  {len(baseline.results)} match(es)")
+    print()
+    print("The baseline missed the match: when PAID@5 finally arrived, the")
+    print("baseline had already filed SHIPPED@9 and never looks back; the")
+    print("out-of-order engine splices the late event into its timestamp-")
+    print("sorted stacks and completes the sequence exactly once.")
+
+
+if __name__ == "__main__":
+    main()

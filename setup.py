@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The modern metadata lives in pyproject.toml; this shim exists because
+the build environment ships setuptools without the `wheel` package, so
+pip must take the legacy `setup.py develop` path for editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,141 @@
+"""Shared benchmark harness: engine registry and sweep runner.
+
+Each experiment in ``benchmarks/`` is a sweep over one knob, comparing
+a fixed set of engine configurations on identical traces.  This module
+centralises the two pieces every experiment needs:
+
+* :func:`make_engine` — a name → engine factory covering all four
+  strategies, so experiments select engines by string and stay
+  declarative;
+* :func:`run_cell` — feed one arrival trace through one engine and
+  collect every measurement (wall time, counters, quality vs. oracle,
+  latency summaries, peak state) in a flat dict, ready for a report
+  row.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.aggressive import AggressiveEngine
+from repro.core.engine import Engine, OutOfOrderEngine
+from repro.core.errors import ConfigurationError
+from repro.core.event import Event
+from repro.core.inorder import InOrderEngine
+from repro.core.oracle import OfflineOracle
+from repro.core.pattern import Pattern
+from repro.core.purge import PurgePolicy
+from repro.core.reorder import ReorderingEngine
+from repro.metrics.latency import summarize_arrival_latency, summarize_occurrence_latency
+from repro.metrics.quality import QualityReport, compare_keys
+
+ENGINE_NAMES = ("ooo", "inorder", "reorder", "aggressive")
+
+
+def make_engine(
+    name: str,
+    pattern: Pattern,
+    k: Optional[int] = None,
+    purge: Optional[PurgePolicy] = None,
+    optimize: bool = True,
+) -> Engine:
+    """Build an engine by strategy name.
+
+    ``ooo``        the paper's native out-of-order engine
+    ``inorder``    SASE-style baseline assuming ordered arrival
+    ``reorder``    K-slack buffer-and-sort in front of the baseline
+    ``aggressive`` optimistic emit + revocations (extension)
+    """
+    if name == "ooo":
+        return OutOfOrderEngine(
+            pattern,
+            k=k,
+            purge=purge,
+            optimize_scan=optimize,
+            optimize_construction=optimize,
+        )
+    if name == "inorder":
+        return InOrderEngine(pattern, purge=purge)
+    if name == "reorder":
+        if k is None:
+            raise ConfigurationError("reorder engine needs a concrete K")
+        return ReorderingEngine(pattern, k=k, purge=purge)
+    if name == "aggressive":
+        return AggressiveEngine(
+            pattern,
+            k=k,
+            purge=purge,
+            optimize_scan=optimize,
+            optimize_construction=optimize,
+        )
+    raise ConfigurationError(f"unknown engine {name!r}; choose from {ENGINE_NAMES}")
+
+
+def run_cell(
+    engine: Engine,
+    arrival: Sequence[Event],
+    truth_keys=None,
+) -> Dict[str, Any]:
+    """One (engine, trace) measurement cell.
+
+    When *truth_keys* (oracle identity set) is provided, quality
+    metrics are included; engines with a ``net_result_set`` (the
+    aggressive strategy) are judged on their net output.
+    """
+    start = time.perf_counter()
+    engine.feed_many(arrival)
+    engine.close()
+    seconds = time.perf_counter() - start
+
+    produced = (
+        engine.net_result_set()
+        if hasattr(engine, "net_result_set")
+        else engine.result_set()
+    )
+    cell: Dict[str, Any] = {
+        "engine": type(engine).__name__,
+        "events": len(arrival),
+        "seconds": seconds,
+        "events_per_sec": len(arrival) / seconds if seconds > 0 else float("inf"),
+        "matches": len(engine.results),
+        "peak_state": engine.stats.peak_state_size,
+        "partial_combinations": engine.stats.partial_combinations,
+        "predicate_evaluations": engine.stats.predicate_evaluations,
+        "construction_triggers": engine.stats.construction_triggers,
+        "skipped_by_probe": engine.stats.construction_skipped_by_probe,
+        "purged": engine.stats.instances_purged,
+        "late_dropped": engine.stats.late_dropped,
+        "revocations": engine.stats.revocations,
+    }
+    arrival_summary = summarize_arrival_latency(engine.emissions, arrival)
+    occurrence_summary = summarize_occurrence_latency(engine.emissions)
+    cell["lat_arrival_mean"] = arrival_summary.mean
+    cell["lat_arrival_p99"] = arrival_summary.p99
+    cell["lat_occurrence_mean"] = occurrence_summary.mean
+    cell["lat_occurrence_p99"] = occurrence_summary.p99
+    if truth_keys is not None:
+        report: QualityReport = compare_keys(truth_keys, produced)
+        cell["recall"] = report.recall
+        cell["precision"] = report.precision
+        cell["missed"] = report.missed
+        cell["spurious"] = report.spurious
+    return cell
+
+
+def oracle_truth(pattern: Pattern, events: Sequence[Event]):
+    """Identity set of the ground-truth result over *events*."""
+    return OfflineOracle(pattern).evaluate_set(events)
+
+
+def sweep(
+    knob_values: Sequence[Any],
+    build: Callable[[Any], Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Run *build* per knob value, tagging each row with the knob."""
+    rows: List[Dict[str, Any]] = []
+    for value in knob_values:
+        row = build(value)
+        row.setdefault("knob", value)
+        rows.append(row)
+    return rows

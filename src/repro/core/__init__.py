@@ -1,0 +1,105 @@
+"""Core of the reproduction: patterns, engines, and their building blocks.
+
+The stable public surface of ``repro.core`` is re-exported here; see
+``repro`` (the top-level package) for the library-wide API.
+"""
+
+from repro.core.aggressive import AggressiveEngine, Revocation
+from repro.core.clock import StreamClock
+from repro.core.engine import EmissionRecord, Engine, LatePolicy, OutOfOrderEngine
+from repro.core.errors import (
+    ConfigurationError,
+    DisorderBoundViolation,
+    EngineStateError,
+    ParseError,
+    QueryError,
+    ReproError,
+    StreamError,
+)
+from repro.core.event import Event, Punctuation, StreamElement, is_event, sort_by_occurrence
+from repro.core.inorder import InOrderEngine
+from repro.core.oracle import OfflineOracle, oracle_matches
+from repro.core.ordered_output import OrderedOutputAdapter
+from repro.core.parser import parse
+from repro.core.partition import PartitionedEngine, detect_partition_key
+from repro.core.pattern import KleeneBracket, Match, NegationBracket, Pattern, Step, seq
+from repro.core.plan import MultiQueryPlan, QueryPlan
+from repro.core.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Eq,
+    FnPredicate,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.core.purge import PurgeMode, PurgePolicy
+from repro.core.registry import HeartbeatDriver, QueryRegistry
+from repro.core.reorder import ReorderingEngine
+from repro.core.stats import EngineStats
+from repro.core.transformation import CompositeEventFactory
+
+__all__ = [
+    "AggressiveEngine",
+    "And",
+    "Attr",
+    "Comparison",
+    "CompositeEventFactory",
+    "ConfigurationError",
+    "Const",
+    "DisorderBoundViolation",
+    "EmissionRecord",
+    "Engine",
+    "EngineStateError",
+    "EngineStats",
+    "Eq",
+    "Event",
+    "FnPredicate",
+    "Ge",
+    "Gt",
+    "HeartbeatDriver",
+    "InOrderEngine",
+    "KleeneBracket",
+    "LatePolicy",
+    "Le",
+    "Lt",
+    "Match",
+    "MultiQueryPlan",
+    "Ne",
+    "NegationBracket",
+    "Not",
+    "OfflineOracle",
+    "Or",
+    "OrderedOutputAdapter",
+    "OutOfOrderEngine",
+    "ParseError",
+    "PartitionedEngine",
+    "Pattern",
+    "Predicate",
+    "Punctuation",
+    "PurgeMode",
+    "PurgePolicy",
+    "QueryError",
+    "QueryRegistry",
+    "QueryPlan",
+    "ReorderingEngine",
+    "ReproError",
+    "Revocation",
+    "Step",
+    "StreamClock",
+    "StreamElement",
+    "StreamError",
+    "is_event",
+    "oracle_matches",
+    "parse",
+    "seq",
+    "detect_partition_key",
+    "sort_by_occurrence",
+]

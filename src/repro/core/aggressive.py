@@ -1,0 +1,165 @@
+"""Aggressive strategy: emit optimistically, compensate on late arrivals.
+
+The paper's conservative engine holds negation-guarded matches until
+the disorder bound seals them.  The natural extension — developed fully
+in the authors' follow-up (Liu et al., ICDE 2009) and sketched here as
+the paper's future-work direction — is the *aggressive* strategy:
+
+* emit every match the moment its positive events line up, checking
+  negation only against the negatives **seen so far**;
+* if a late negative event subsequently invalidates an already-emitted
+  match, issue a :class:`Revocation` (a compensation record downstream
+  consumers can apply);
+* once a match's negation brackets seal, it can never be revoked and
+  its compensation bookkeeping is dropped.
+
+Under rare disorder this gives near-zero result latency with few
+revocations; under heavy disorder the revocation traffic grows — the
+trade-off experiment E11 measures.
+
+For patterns *without* negation the aggressive engine behaves exactly
+like the conservative one (late positive events simply create new
+matches when they arrive; nothing previously emitted can be wrong).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.core.engine import LatePolicy, OutOfOrderEngine
+from repro.core.event import Event
+from repro.core.negation import seal_point, violated
+from repro.core.pattern import Match, Pattern
+from repro.core.purge import PurgePolicy
+
+
+class Revocation(NamedTuple):
+    """Compensation record: a previously emitted match is withdrawn."""
+
+    match: Match
+    caused_by: Event  #: the late negative event that invalidated it
+
+
+class AggressiveEngine(OutOfOrderEngine):
+    """Optimistic emit + revocation, layered on the out-of-order core.
+
+    The emitted match stream is available via ``results`` as usual;
+    revocations accumulate in ``revocations`` and are also returned by
+    :meth:`take_revocations` for stream-style consumption.  The
+    *net* result set (emitted minus revoked) is exposed via
+    :meth:`net_result_set` and is what tests compare to the oracle.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        k: Optional[int] = None,
+        purge: Optional[PurgePolicy] = None,
+        late_policy: LatePolicy = LatePolicy.DROP,
+        optimize_scan: bool = True,
+        optimize_construction: bool = True,
+    ):
+        super().__init__(
+            pattern,
+            k=k,
+            purge=purge,
+            late_policy=late_policy,
+            optimize_scan=optimize_scan,
+            optimize_construction=optimize_construction,
+        )
+        self.revocations: List[Revocation] = []
+        self._fresh_revocations: List[Revocation] = []
+        # Matches emitted while at least one bracket is unsealed, ordered
+        # by seal point so sealing drops a prefix.
+        self._exposed: List[Tuple[int, int, Match]] = []
+        self._exposed_counter = itertools.count()
+        self._revoked_keys = set()
+
+    # -- overridden routing --------------------------------------------------------
+
+    def _route(self, match: Match, emitted: List[Match]) -> None:
+        if self.pattern.has_kleene:
+            # A Kleene collection is only final once its bracket seals,
+            # and amending an emitted collection has no compensation
+            # analogue — so Kleene matches take the conservative path.
+            OutOfOrderEngine._route(self, match, emitted)
+            return
+        # Optimistic: check against negatives seen so far and emit now.
+        if self.pattern.has_negation and violated(
+            self.pattern, match, self.negatives, self.stats
+        ):
+            self.stats.matches_cancelled += 1
+            return
+        self._emit(match, self.clock.now)
+        emitted.append(match)
+        point = seal_point(self.pattern, match)
+        if point > self.clock.horizon():
+            heapq.heappush(
+                self._exposed, (point, next(self._exposed_counter), match)
+            )
+
+    def _release_ripe(self, emitted: List[Match]) -> None:
+        # Conservative pending (used by Kleene matches) releases first...
+        OutOfOrderEngine._release_ripe(self, emitted)
+        # ...then sealed exposures become permanent and their
+        # bookkeeping is dropped.
+        horizon = self.clock.horizon()
+        while self._exposed and self._exposed[0][0] <= horizon:
+            heapq.heappop(self._exposed)
+        self.stats.matches_pending = len(self._exposed) + len(self.pending)
+
+    def _flush(self) -> List[Match]:
+        emitted = OutOfOrderEngine._flush(self)  # drain conservative pending
+        self._exposed.clear()
+        self.stats.matches_pending = 0
+        return emitted
+
+    # -- revocation on late negatives ---------------------------------------------------
+
+    def _process_event(self, event: Event) -> List[Match]:
+        is_negative = event.etype in self.pattern.negated_types
+        emitted = super()._process_event(event)
+        if is_negative and self._exposed:
+            self._revoke_invalidated(event)
+        return emitted
+
+    def _revoke_invalidated(self, negative: Event) -> None:
+        pattern = self.pattern
+        survivors: List[Tuple[int, int, Match]] = []
+        for entry in self._exposed:
+            match = entry[2]
+            if match.key() in self._revoked_keys:
+                continue
+            if self._invalidates(negative, match):
+                revocation = Revocation(match, negative)
+                self.revocations.append(revocation)
+                self._fresh_revocations.append(revocation)
+                self._revoked_keys.add(match.key())
+                self.stats.revocations += 1
+            else:
+                survivors.append(entry)
+        if len(survivors) != len(self._exposed):
+            self._exposed = survivors
+            heapq.heapify(self._exposed)
+
+    def _invalidates(self, negative: Event, match: Match) -> bool:
+        for bracket in self.pattern.negation_brackets_of_type.get(
+            negative.etype, ()
+        ):
+            if bracket.admits(negative, match.events, self.pattern.within):
+                return True
+        return False
+
+    # -- consumption ---------------------------------------------------------------
+
+    def take_revocations(self) -> List[Revocation]:
+        """Revocations issued since the last call (stream-style consumption)."""
+        fresh = self._fresh_revocations
+        self._fresh_revocations = []
+        return fresh
+
+    def net_result_set(self):
+        """Emitted-match identities minus revoked ones (oracle-comparable)."""
+        return self.result_set() - self._revoked_keys

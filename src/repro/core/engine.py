@@ -1,0 +1,314 @@
+"""The out-of-order engine: the paper's contribution, assembled.
+
+:class:`OutOfOrderEngine` evaluates one ``SEQ`` pattern over a stream
+whose arrival order may diverge from occurrence order, bounded by a
+disorder promise K.  Per arriving element it performs:
+
+1. **clock & lateness** — advance the stream clock; elements older than
+   the safe horizon violate the K promise and are handled per
+   :class:`LatePolicy`;
+2. **sequence scan** — admission to the ts-sorted stacks (positive
+   steps) and/or the negative store (negated types), plus feasibility
+   probes (``repro.core.scan``);
+3. **sequence construction** — exactly-once match enumeration triggered
+   by the insertion (``repro.core.construction``);
+4. **negation routing** — matches with unsealed negation brackets are
+   parked in the pending buffer; sealed ones are checked against the
+   negative store and emitted or cancelled (``repro.core.negation``);
+5. **seal release** — the advanced horizon may ripen previously parked
+   matches;
+6. **purge** — state provably useless at the new horizon is dropped,
+   per the configured :class:`PurgePolicy` (``repro.core.purge``).
+
+The engine is single-threaded and deterministic: identical input
+sequences produce identical outputs, counters and state trajectories,
+which the record/replay substrate and the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.core.clock import StreamClock
+from repro.core.errors import ConfigurationError, DisorderBoundViolation, EngineStateError
+from repro.core.event import Event, Punctuation, StreamElement, is_event
+from repro.core.negation import collect_kleene, PendingMatches, seal_point, violated
+from repro.core.pattern import Match, Pattern
+from repro.core.purge import PurgePolicy, Purger
+from repro.core.scan import SequenceScanner
+from repro.core.construction import SequenceConstructor
+from repro.core.stacks import Instance, NegativeStore, StackSet
+from repro.core.stats import EngineStats
+
+
+class LatePolicy(enum.Enum):
+    """What to do with an event that violates the disorder bound K."""
+
+    RAISE = "raise"  #: raise DisorderBoundViolation (strict deployments)
+    DROP = "drop"  #: count it (stats.late_dropped) and ignore it
+    PROCESS = "process"  #: best effort — process anyway; results involving
+    #: already-purged state are silently incomplete
+
+
+class EmissionRecord(NamedTuple):
+    """Bookkeeping for one emitted match (drives the latency metrics)."""
+
+    match: Match
+    emitted_seq: int  #: engine arrival index at emission time
+    emitted_clock: int  #: stream clock (max occurrence ts) at emission time
+
+
+class Engine:
+    """Common engine surface shared by every strategy in this library.
+
+    Subclasses implement :meth:`_process_event` and may extend
+    :meth:`_on_punctuation` / :meth:`_flush`.  The shared surface keeps
+    the bench harness strategy-agnostic.
+    """
+
+    def __init__(self, pattern: Pattern):
+        self.pattern = pattern
+        self.stats = EngineStats()
+        self.results: List[Match] = []
+        self.emissions: List[EmissionRecord] = []
+        self._arrival = 0
+        self._closed = False
+
+    # -- public API ------------------------------------------------------------
+
+    def feed(self, element: StreamElement) -> List[Match]:
+        """Process one stream element; returns matches emitted *now*."""
+        if self._closed:
+            raise EngineStateError(f"{type(self).__name__} is closed")
+        if is_event(element):
+            self._arrival += 1
+            self.stats.events_in += 1
+            emitted = self._process_event(element)
+        else:
+            self.stats.punctuations_in += 1
+            emitted = self._on_punctuation(element)
+        self.stats.note_state_size(self.state_size())
+        return emitted
+
+    def feed_many(self, elements: Iterable[StreamElement]) -> List[Match]:
+        """Feed every element; returns all matches emitted during the run."""
+        emitted: List[Match] = []
+        for element in elements:
+            emitted.extend(self.feed(element))
+        return emitted
+
+    def close(self) -> List[Match]:
+        """End of stream: release everything still pending, then seal the engine."""
+        if self._closed:
+            return []
+        emitted = self._flush()
+        self._closed = True
+        return emitted
+
+    def run(self, elements: Iterable[StreamElement]) -> List[Match]:
+        """feed_many + close in one call; returns the complete result list."""
+        emitted = self.feed_many(elements)
+        emitted.extend(self.close())
+        return emitted
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def arrival_index(self) -> int:
+        """Number of events fed so far (the engine's logical arrival clock)."""
+        return self._arrival
+
+    def result_set(self) -> Set[Tuple]:
+        """Identity set of emitted matches, for oracle comparison."""
+        return {m.key() for m in self.results}
+
+    def state_size(self) -> int:
+        """Total retained state in instances/events (memory experiments)."""
+        raise NotImplementedError
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _process_event(self, event: Event) -> List[Match]:
+        raise NotImplementedError
+
+    def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
+        return []
+
+    def _flush(self) -> List[Match]:
+        return []
+
+    def _emit(self, match: Match, clock_now: int) -> None:
+        self.results.append(match)
+        self.emissions.append(EmissionRecord(match, self._arrival, clock_now))
+        self.stats.matches_emitted += 1
+
+
+class OutOfOrderEngine(Engine):
+    """Native out-of-order SSC engine (the paper's proposal).
+
+    Parameters
+    ----------
+    pattern:
+        The compiled query.
+    k:
+        Disorder bound: an event with occurrence time ``t`` is promised
+        to arrive while ``max_seen_ts <= t + k``.  ``None`` disables the
+        K promise (state is retained until punctuated or closed).
+    purge:
+        Purge schedule (default eager).  A fresh default is created per
+        engine — policies hold schedule state and must not be shared.
+    late_policy:
+        Handling of K-promise violations (default DROP).
+    optimize_scan / optimize_construction:
+        The paper's CPU optimisations; disable for ablation (E6).
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        k: Optional[int] = None,
+        purge: Optional[PurgePolicy] = None,
+        late_policy: LatePolicy = LatePolicy.DROP,
+        optimize_scan: bool = True,
+        optimize_construction: bool = True,
+    ):
+        super().__init__(pattern)
+        if not isinstance(late_policy, LatePolicy):
+            raise ConfigurationError(f"late_policy must be a LatePolicy, got {late_policy!r}")
+        self.clock = StreamClock(k)
+        self.late_policy = late_policy
+        self.purge_policy = purge if purge is not None else PurgePolicy.eager()
+        self.stacks = StackSet(pattern.length)
+        self.negatives = NegativeStore(pattern.negated_types)
+        # Kleene elements live in their own ts-sorted store, consulted at
+        # seal time exactly like negatives (same retention proof).
+        self.kleene_store = NegativeStore(pattern.kleene_types)
+        self.scanner = SequenceScanner(pattern, optimize=optimize_scan)
+        self.constructor = SequenceConstructor(pattern, optimize=optimize_construction)
+        self.pending = PendingMatches()
+        self.purger = Purger(pattern.within, pattern.length)
+
+    # -- state -------------------------------------------------------------------
+
+    def state_size(self) -> int:
+        return (
+            self.stacks.size()
+            + self.negatives.size()
+            + self.kleene_store.size()
+            + len(self.pending)
+        )
+
+    # -- processing ----------------------------------------------------------------
+
+    def _process_event(self, event: Event) -> List[Match]:
+        emitted: List[Match] = []
+        if self.clock.is_late(event):
+            if self.late_policy is LatePolicy.RAISE:
+                raise DisorderBoundViolation(event, self.clock.now, self.clock.k or 0)
+            if self.late_policy is LatePolicy.DROP:
+                self.stats.late_dropped += 1
+                return emitted
+            # LatePolicy.PROCESS falls through: best effort.
+            self.stats.late_dropped += 1
+
+        if self.clock.observe(event):
+            self.stats.out_of_order_events += 1
+
+        if not self.scanner.relevant(event):
+            self.stats.events_ignored += 1
+        else:
+            side_stored = False
+            if self.negatives.relevant(event.etype):
+                self.negatives.insert(event)
+                side_stored = True
+            if self.kleene_store.relevant(event.etype):
+                self.kleene_store.insert(event)
+                side_stored = True
+            if side_stored:
+                self.stats.events_admitted += 1
+            steps = self.scanner.admissible_steps(event)
+            if steps:
+                if not side_stored:
+                    self.stats.events_admitted += 1
+                instance = Instance(event, self._arrival)
+                for step_index in steps:
+                    self.stacks[step_index].insert(instance)
+                    if self.scanner.construction_feasible(
+                        self.stacks, step_index, event, self.stats
+                    ):
+                        for match in self.constructor.construct(
+                            self.stacks, step_index, instance, self.stats
+                        ):
+                            self._route(match, emitted)
+            elif not side_stored:
+                self.stats.events_ignored += 1
+
+        self._release_ripe(emitted)
+        if self.purge_policy.due():
+            self.purger.run(
+                self.clock.horizon(), self.stacks, self.negatives,
+                self.stats, kleene=self.kleene_store,
+            )
+        return emitted
+
+    def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
+        self.clock.observe_punctuation(punctuation)
+        emitted: List[Match] = []
+        self._release_ripe(emitted)
+        if self.purge_policy.due():
+            self.purger.run(
+                self.clock.horizon(), self.stacks, self.negatives,
+                self.stats, kleene=self.kleene_store,
+            )
+        return emitted
+
+    def _flush(self) -> List[Match]:
+        emitted: List[Match] = []
+        for match in self.pending.drain():
+            self._decide(match, emitted)
+        self.stats.matches_pending = 0
+        return emitted
+
+    # -- negation routing ----------------------------------------------------------
+
+    def _route(self, match: Match, emitted: List[Match]) -> None:
+        point = seal_point(self.pattern, match)
+        if point <= self.clock.horizon():
+            self._decide(match, emitted)
+        else:
+            self.pending.add(match, point)
+            self.stats.matches_pending = len(self.pending)
+
+    def _decide(self, match: Match, emitted: List[Match]) -> None:
+        if self.pattern.has_negation and violated(
+            self.pattern, match, self.negatives, self.stats
+        ):
+            self.stats.matches_cancelled += 1
+            return
+        if self.pattern.has_kleene:
+            collections = collect_kleene(
+                self.pattern, match, self.kleene_store, self.stats
+            )
+            if collections is None:
+                self.stats.matches_cancelled += 1
+                return
+            match = match.with_collections(collections)
+        self._emit(match, self.clock.now)
+        emitted.append(match)
+
+    def _release_ripe(self, emitted: List[Match]) -> None:
+        horizon = self.clock.horizon()
+        for match in self.pending.release(horizon):
+            self._decide(match, emitted)
+        self.stats.matches_pending = len(self.pending)
+
+    def __repr__(self) -> str:
+        k = "∞" if self.clock.k is None else self.clock.k
+        return (
+            f"{type(self).__name__}({self.pattern.name!r}, k={k}, "
+            f"clock={self.clock.now}, state={self.state_size()}, "
+            f"matches={len(self.results)})"
+        )

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro event-processing library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The concrete
+subclasses distinguish the three failure domains a stream engine has:
+malformed queries, malformed stream input, and violated runtime promises
+(most importantly the disorder bound K).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class QueryError(ReproError):
+    """A pattern query is structurally invalid.
+
+    Raised while *building* a query: unknown variables in predicates,
+    adjacent negated components, non-positive windows, and similar
+    static problems.  A query that constructs without raising
+    ``QueryError`` is guaranteed evaluable by every engine.
+    """
+
+
+class ParseError(QueryError):
+    """The textual query language could not be parsed.
+
+    Carries the offending position so tooling can point at it.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            pointer = text[:position] + " >>> " + text[position:]
+            message = f"{message} (at position {position}: {pointer!r})"
+        super().__init__(message)
+
+
+class StreamError(ReproError):
+    """A stream element is malformed (e.g. negative timestamp)."""
+
+
+class DisorderBoundViolation(StreamError):
+    """An event arrived later than the promised disorder bound K allows.
+
+    The engine's purge correctness relies on the K promise; by default a
+    violating event is rejected with this error.  Engines can be
+    configured to count-and-drop instead (see ``LatePolicy``).
+    """
+
+    def __init__(self, event, clock: int, bound: int):
+        self.event = event
+        self.clock = clock
+        self.bound = bound
+        super().__init__(
+            f"event {event!r} with ts={event.ts} arrived while clock={clock}; "
+            f"violates disorder bound K={bound} (clock - K = {clock - bound})"
+        )
+
+
+class EngineStateError(ReproError):
+    """The engine was driven through an invalid lifecycle transition.
+
+    For example: feeding events after ``close()``, or asking a purged
+    engine to replay state it no longer holds.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Engine or substrate configuration is inconsistent."""

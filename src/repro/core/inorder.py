@@ -1,0 +1,294 @@
+"""In-order baseline: SASE-style SSC assuming ordered arrival.
+
+This is the "state of the art" (circa 2006) the paper measures against:
+a sequence-scan / sequence-construction engine whose correctness rests
+on the assumption that **arrival order equals occurrence order**.
+
+Architecture (faithful to the AIS design):
+
+* per-step stacks are **append-only** in arrival order; each instance
+  records a *rightmost instance pointer* (RIP) — the size of the
+  previous step's stack at insertion time.  Construction follows RIP
+  pointers, i.e. only considers combinations whose members arrived in
+  step order;
+* construction triggers **only on final-step arrivals**;
+* purging and negation sealing are driven by the **raw clock** (max
+  timestamp seen), the correct horizon when arrival is ordered.
+
+The engine is given every benefit of the doubt: it checks strict
+timestamp increase along a candidate combination (so it never emits a
+temporally invalid sequence even when its ordering assumption is
+broken) and evaluates the window and all ``WHERE`` predicates exactly.
+
+What still breaks under out-of-order arrival — quantified in
+experiment E1:
+
+* **missed matches**: a late event is appended at the top of its stack,
+  so RIP pointers of earlier-arrived later-step instances never reach
+  it; matches whose latest-arriving member is not at the final step are
+  never constructed; purge keyed on the raw clock may have already
+  dropped the partners a late event needed;
+* **false positives**: negation seals on the raw clock, so a match is
+  released before a late negative event that invalidates it arrives.
+
+On genuinely ordered input the engine is exactly correct (the test
+suite pins it to the oracle), making it a fair throughput baseline at
+zero disorder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.clock import StreamClock
+from repro.core.engine import Engine
+from repro.core.event import Event, Punctuation
+from repro.core.negation import collect_kleene, PendingMatches, seal_point, violated
+from repro.core.pattern import Match, Pattern
+from repro.core.purge import PurgePolicy, Purger
+from repro.core.stacks import NegativeStore
+
+
+class _RipInstance:
+    """Stack entry: the event plus the RIP into the previous stack."""
+
+    __slots__ = ("event", "arrival", "rip")
+
+    def __init__(self, event: Event, arrival: int, rip: int):
+        self.event = event
+        self.arrival = arrival
+        self.rip = rip
+
+    @property
+    def ts(self) -> int:
+        return self.event.ts
+
+
+class InOrderEngine(Engine):
+    """SASE-style engine: exactly correct on ordered streams, breaks on disorder."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        purge: Optional[PurgePolicy] = None,
+    ):
+        super().__init__(pattern)
+        # k=0: "arrival order equals occurrence order" as a clock promise.
+        self.clock = StreamClock(k=0)
+        self.purge_policy = purge if purge is not None else PurgePolicy.eager()
+        self.stacks: List[List[_RipInstance]] = [[] for _ in range(pattern.length)]
+        self.negatives = NegativeStore(pattern.negated_types)
+        self.kleene_store = NegativeStore(pattern.kleene_types)
+        self.pending = PendingMatches()
+        self.purger = Purger(pattern.within, pattern.length)
+        # Predicate pushdown for the RIP descent (SASE evaluates
+        # predicates during construction, not on complete combos): a
+        # predicate becomes checkable at the *earliest* positive step it
+        # mentions, because descent binds steps from the last backwards.
+        self._vars = [s.var for s in pattern.positive_steps]
+        position = {var: i for i, var in enumerate(self._vars)}
+        self._desc_staged: List[List] = [[] for _ in range(pattern.length)]
+        for predicate in pattern.positive_predicates:
+            earliest = min(position[v] for v in predicate.variables())
+            self._desc_staged[earliest].append(predicate)
+
+    # -- state ---------------------------------------------------------------
+
+    def state_size(self) -> int:
+        stacked = sum(len(stack) for stack in self.stacks)
+        return (
+            stacked
+            + self.negatives.size()
+            + self.kleene_store.size()
+            + len(self.pending)
+        )
+
+    # -- processing -------------------------------------------------------------
+
+    def _process_event(self, event: Event) -> List[Match]:
+        emitted: List[Match] = []
+        if self.clock.observe(event):
+            self.stats.out_of_order_events += 1
+
+        if event.etype not in self.pattern.relevant_types:
+            self.stats.events_ignored += 1
+        else:
+            admitted = False
+            if self.negatives.relevant(event.etype):
+                self.negatives.insert(event)
+                admitted = True
+            if self.kleene_store.relevant(event.etype):
+                self.kleene_store.insert(event)
+                admitted = True
+            for step_index in self.pattern.steps_of_type.get(event.etype, ()):
+                if not self._local_ok(step_index, event):
+                    continue
+                admitted = True
+                rip = len(self.stacks[step_index - 1]) if step_index > 0 else 0
+                instance = _RipInstance(event, self._arrival, rip)
+                self.stacks[step_index].append(instance)
+                if step_index == self.pattern.length - 1:
+                    for match in self._construct(instance):
+                        self._route(match, emitted)
+            if admitted:
+                self.stats.events_admitted += 1
+            else:
+                self.stats.events_ignored += 1
+
+        self._release_ripe(emitted)
+        if self.purge_policy.due():
+            self._purge()
+        return emitted
+
+    def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
+        self.clock.observe_punctuation(punctuation)
+        emitted: List[Match] = []
+        self._release_ripe(emitted)
+        if self.purge_policy.due():
+            self._purge()
+        return emitted
+
+    def _flush(self) -> List[Match]:
+        emitted: List[Match] = []
+        for match in self.pending.drain():
+            self._decide(match, emitted)
+        return emitted
+
+    # -- construction (RIP descent) --------------------------------------------------
+
+    def _construct(self, trigger: _RipInstance) -> List[Match]:
+        self.stats.construction_triggers += 1
+        pattern = self.pattern
+        matches: List[Match] = []
+        bindings = {self._vars[-1]: trigger.event}
+        if pattern.length == 1:
+            if self._staged_ok(0, bindings):
+                matches.append(
+                    Match(pattern, [trigger.event], detected_at=trigger.arrival)
+                )
+            return matches
+        if not self._staged_ok(pattern.length - 1, bindings):
+            return matches
+        suffix: List[_RipInstance] = [trigger]
+        self._descend(pattern.length - 2, trigger, suffix, bindings, matches)
+        return matches
+
+    def _descend(
+        self,
+        step: int,
+        trigger: _RipInstance,
+        suffix: List[_RipInstance],
+        bindings: dict,
+        matches: List[Match],
+    ) -> None:
+        pattern = self.pattern
+        newest = suffix[-1]
+        # RIP: only instances that had arrived when `newest` was inserted.
+        candidates = self.stacks[step][: newest.rip]
+        floor = trigger.ts - pattern.within
+        var = self._vars[step]
+        for candidate in candidates:
+            self.stats.partial_combinations += 1
+            # Benefit of the doubt: strict timestamp increase is checked,
+            # so broken ordering never yields an invalid sequence.
+            if candidate.ts >= newest.ts or candidate.ts < floor:
+                continue
+            bindings[var] = candidate.event
+            if not self._staged_ok(step, bindings):
+                del bindings[var]
+                continue
+            suffix.append(candidate)
+            if step == 0:
+                events = [inst.event for inst in reversed(suffix)]
+                matches.append(Match(pattern, events, detected_at=trigger.arrival))
+            else:
+                self._descend(step - 1, trigger, suffix, bindings, matches)
+            suffix.pop()
+            del bindings[var]
+
+    def _staged_ok(self, step: int, bindings: dict) -> bool:
+        """Predicates whose earliest mentioned step is *step* (pushdown)."""
+        for predicate in self._desc_staged[step]:
+            self.stats.predicate_evaluations += 1
+            if not predicate.evaluate(bindings):
+                return False
+        return True
+
+    def _local_ok(self, step_index: int, event: Event) -> bool:
+        step = self.pattern.positive_steps[step_index]
+        staged = self.pattern.staged.get(step.var, ())
+        local = [p for p in staged if p.variables() == {step.var}]
+        if not local:
+            return True
+        bindings = {step.var: event}
+        for predicate in local:
+            self.stats.predicate_evaluations += 1
+            if not predicate.evaluate(bindings):
+                return False
+        return True
+
+    # -- negation / purge ---------------------------------------------------------------
+
+    def _route(self, match: Match, emitted: List[Match]) -> None:
+        point = seal_point(self.pattern, match)
+        if point <= self.clock.horizon():
+            self._decide(match, emitted)
+        else:
+            self.pending.add(match, point)
+            self.stats.matches_pending = len(self.pending)
+
+    def _decide(self, match: Match, emitted: List[Match]) -> None:
+        if self.pattern.has_negation and violated(
+            self.pattern, match, self.negatives, self.stats
+        ):
+            self.stats.matches_cancelled += 1
+            return
+        if self.pattern.has_kleene:
+            collections = collect_kleene(
+                self.pattern, match, self.kleene_store, self.stats
+            )
+            if collections is None:
+                self.stats.matches_cancelled += 1
+                return
+            match = match.with_collections(collections)
+        self._emit(match, self.clock.now)
+        emitted.append(match)
+
+    def _release_ripe(self, emitted: List[Match]) -> None:
+        for match in self.pending.release(self.clock.horizon()):
+            self._decide(match, emitted)
+        self.stats.matches_pending = len(self.pending)
+
+    def _purge(self) -> None:
+        horizon = self.clock.horizon()
+        if horizon < 0:
+            return
+        final = self.pattern.length - 1
+        dropped = 0
+        for index, stack in enumerate(self.stacks):
+            threshold = horizon + 1 if index == final else horizon - self.pattern.within
+            kept = []
+            removed = 0
+            for instance in stack:
+                if instance.ts <= threshold:
+                    removed += 1
+                else:
+                    kept.append(instance)
+            if removed:
+                # RIP pointers index into the previous stack; shifting that
+                # stack left by `removed` requires rescaling the next
+                # stack's pointers — the in-order engine does this under
+                # its ordering assumption (purged entries are a prefix).
+                if index + 1 < len(self.stacks):
+                    for later in self.stacks[index + 1]:
+                        later.rip = max(0, later.rip - removed)
+                stack[:] = kept
+                dropped += removed
+        self.stats.instances_purged += dropped
+        self.stats.negatives_purged += self.negatives.purge_through(
+            horizon - self.pattern.within
+        )
+        self.stats.negatives_purged += self.kleene_store.purge_through(
+            horizon - self.pattern.within
+        )
+        self.stats.purge_runs += 1

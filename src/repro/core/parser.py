@@ -1,0 +1,216 @@
+"""Textual query language: a SASE-style surface syntax for patterns.
+
+Grammar (case-insensitive keywords)::
+
+    query       := "PATTERN" "SEQ" "(" step ("," step)* ")"
+                   ("WHERE" disjunction)? "WITHIN" INTEGER
+    step        := "!"? TYPE "+"? VAR        -- "+" marks a Kleene step
+    disjunction := conjunction ("OR" conjunction)*
+    conjunction := condition ("AND" condition)*
+    condition   := "(" disjunction ")" | "NOT" condition | comparison
+    comparison  := operand OP operand
+    operand     := VAR "." ATTR | literal
+    literal     := INTEGER | FLOAT | STRING | "true" | "false"
+    OP          := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+
+Example::
+
+    PATTERN SEQ(SHELF_READ s, !COUNTER_READ c, EXIT_READ e)
+    WHERE s.tag == e.tag AND c.tag == s.tag
+    WITHIN 1200
+
+``parse`` returns a compiled :class:`repro.core.pattern.Pattern`; all
+static validation (unknown variables, adjacent negation, …) happens in
+the pattern constructor, so the parser only worries about syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.core.errors import ParseError
+from repro.core.pattern import Pattern, Step
+from repro.core.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    Term,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<FLOAT>-?\d+\.\d+)
+  | (?P<INT>-?\d+)
+  | (?P<STRING>'[^']*'|"[^"]*")
+  | (?P<OP>==|!=|<=|>=|=|<|>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<BANG>!)
+  | (?P<PLUS>\+)
+  | (?P<DOT>\.)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"pattern", "seq", "where", "within", "and", "or", "not", "true", "false"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unrecognised character", position, text)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            if kind == "NAME" and value.lower() in _KEYWORDS:
+                if value.lower() in ("true", "false"):
+                    kind = "BOOL"
+                else:
+                    kind = value.upper()
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.value!r}",
+                token.position,
+                self.text,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        if self._peek().kind == kind:
+            return self._advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_query(self, name: str) -> Pattern:
+        self._expect("PATTERN")
+        self._expect("SEQ")
+        self._expect("LPAREN")
+        steps = [self._parse_step()]
+        while self._accept("COMMA"):
+            steps.append(self._parse_step())
+        self._expect("RPAREN")
+        where: Optional[Predicate] = None
+        if self._accept("WHERE"):
+            where = self._parse_disjunction()
+        self._expect("WITHIN")
+        window_token = self._expect("INT")
+        self._expect("EOF")
+        predicates = [where] if where is not None else None
+        return Pattern(steps, where=predicates, within=int(window_token.value), name=name)
+
+    def _parse_step(self) -> Step:
+        negated = self._accept("BANG") is not None
+        etype = self._expect("NAME").value
+        kleene = self._accept("PLUS") is not None
+        var = self._expect("NAME").value
+        return Step(etype, var, negated=negated, kleene=kleene)
+
+    def _parse_disjunction(self) -> Predicate:
+        children = [self._parse_conjunction()]
+        while self._accept("OR"):
+            children.append(self._parse_conjunction())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def _parse_conjunction(self) -> Predicate:
+        children = [self._parse_condition()]
+        while self._accept("AND"):
+            children.append(self._parse_condition())
+        return children[0] if len(children) == 1 else And(children)
+
+    def _parse_condition(self) -> Predicate:
+        if self._accept("LPAREN"):
+            inner = self._parse_disjunction()
+            self._expect("RPAREN")
+            return inner
+        if self._accept("NOT"):
+            return Not(self._parse_condition())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Predicate:
+        left = self._parse_operand()
+        op_token = self._expect("OP")
+        right = self._parse_operand()
+        op = "==" if op_token.value == "=" else op_token.value
+        return Comparison(left, op, right)
+
+    def _parse_operand(self) -> Term:
+        token = self._peek()
+        if token.kind == "INT":
+            self._advance()
+            return Const(int(token.value))
+        if token.kind == "FLOAT":
+            self._advance()
+            return Const(float(token.value))
+        if token.kind == "STRING":
+            self._advance()
+            return Const(token.value[1:-1])
+        if token.kind == "BOOL":
+            self._advance()
+            return Const(token.value.lower() == "true")
+        if token.kind == "NAME":
+            self._advance()
+            self._expect("DOT")
+            attr = self._expect("NAME").value
+            return Attr(token.value, attr)
+        raise ParseError(
+            f"expected an operand, found {token.kind} {token.value!r}",
+            token.position,
+            self.text,
+        )
+
+
+def parse(text: str, name: str = "") -> Pattern:
+    """Parse the query language into a compiled :class:`Pattern`.
+
+    >>> q = parse("PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 10")
+    >>> q.length
+    2
+    """
+    parser = _Parser(text)
+    derived_name = name or "q"
+    return parser.parse_query(derived_name)

@@ -1,0 +1,239 @@
+"""Partitioned evaluation: hash-route events by the query's equality key.
+
+Most real pattern queries — every canned query in ``repro.workloads`` —
+correlate all steps on one attribute: *same tag*, *same source*, *same
+symbol*.  For such queries, events with different key values can never
+appear in one match, so the engine can be **partitioned**: one
+lightweight sub-engine per key value, each seeing only its partition's
+events.  Construction then joins within a partition instead of across
+the whole window — the classic CEP partitioning optimisation, applied
+here on top of the out-of-order machinery.
+
+Key detection is automatic and conservative: the pattern must connect
+*all* positive steps through ``==`` predicates on a single attribute
+name, and every negated step's predicates must tie it to the same
+attribute.  Anything else raises, so partitioning never silently
+changes semantics (tests pin partitioned == unpartitioned == oracle).
+
+Disorder handling across partitions needs one extra mechanism: a
+partition that goes quiet would never advance its local clock, so its
+state could linger and its negation seals would never ripen.  The
+router therefore broadcasts **punctuations** derived from the global
+clock (safe under the global K promise) every ``punctuate_every``
+events, keeping every sub-engine's horizon moving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.clock import StreamClock
+from repro.core.engine import Engine, LatePolicy, OutOfOrderEngine
+from repro.core.errors import ConfigurationError, QueryError
+from repro.core.event import Event, Punctuation
+from repro.core.pattern import Match, Pattern
+from repro.core.purge import PurgePolicy
+
+
+def detect_partition_key(pattern: Pattern) -> str:
+    """The single attribute that partitions *pattern*, or raise.
+
+    Requirements:
+
+    * some attribute name ``a`` such that the pattern's ``==``
+      predicates of shape ``x.a == y.a`` connect all positive steps
+      into one component;
+    * every negated step carries at least one ``==`` predicate on the
+      same attribute linking it to a positive step.
+    """
+    positive_vars = [s.var for s in pattern.positive_steps]
+    candidates: Dict[str, List] = {}
+    for left, right in pattern.equality_pairs:
+        if left.name == right.name:
+            candidates.setdefault(left.name, []).append((left.var, right.var))
+    for name, edges in candidates.items():
+        if not _connects_all(positive_vars, edges):
+            continue
+        if _negations_keyed(pattern, name):
+            return name
+    raise QueryError(
+        f"pattern {pattern.name!r} has no single equality attribute connecting "
+        "all positive steps (and tying every negated step); partitioned "
+        "evaluation is not applicable"
+    )
+
+
+def _connects_all(variables: List[str], edges: List) -> bool:
+    if len(variables) == 1:
+        return True
+    parent = {var: var for var in variables}
+
+    def find(v: str) -> str:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for left, right in edges:
+        if left in parent and right in parent:
+            parent[find(left)] = find(right)
+    roots = {find(v) for v in variables}
+    return len(roots) == 1
+
+
+def _negations_keyed(pattern: Pattern, name: str) -> bool:
+    for bracket in list(pattern.negations) + list(pattern.kleene):
+        keyed = False
+        for predicate in bracket.predicates:
+            for left, right in predicate.equality_pairs():
+                if left.name == name and right.name == name and (
+                    bracket.step.var in (left.var, right.var)
+                ):
+                    keyed = True
+        if not keyed:
+            return False
+    return True
+
+
+class PartitionedEngine(Engine):
+    """Hash-partitioned wrapper around per-key :class:`OutOfOrderEngine` s.
+
+    Parameters
+    ----------
+    pattern:
+        The compiled query; must be partitionable (see
+        :func:`detect_partition_key`), or pass *key* explicitly.
+    k:
+        Global disorder bound (same promise as the flat engine).
+    key:
+        Partition attribute; auto-detected when omitted.
+    punctuate_every:
+        Broadcast a global-horizon punctuation to all partitions every
+        this many events (bounds idle-partition state and seals their
+        negation brackets).
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        k: Optional[int] = None,
+        purge: Optional[PurgePolicy] = None,
+        late_policy: LatePolicy = LatePolicy.DROP,
+        key: Optional[str] = None,
+        punctuate_every: int = 64,
+    ):
+        super().__init__(pattern)
+        if punctuate_every < 1:
+            raise ConfigurationError(
+                f"punctuate_every must be >= 1, got {punctuate_every}"
+            )
+        self.key = key or detect_partition_key(pattern)
+        self.k = k
+        self.late_policy = late_policy
+        self._purge_mode = purge.mode if purge is not None else None
+        self._purge_interval = purge.interval if purge is not None else 1
+        self.clock = StreamClock(k)
+        self.punctuate_every = punctuate_every
+        self._partitions: Dict[Any, OutOfOrderEngine] = {}
+        self._since_punctuation = 0
+        self._last_broadcast = -1
+
+    # -- partition plumbing ------------------------------------------------------
+
+    def partition_count(self) -> int:
+        """Live partitions (sub-engines instantiated so far)."""
+        return len(self._partitions)
+
+    def _sub_engine(self, value: Any) -> OutOfOrderEngine:
+        engine = self._partitions.get(value)
+        if engine is None:
+            if self._purge_mode is None:
+                purge = None
+            else:
+                purge = PurgePolicy(self._purge_mode, self._purge_interval)
+            engine = OutOfOrderEngine(
+                self.pattern, k=self.k, purge=purge, late_policy=self.late_policy
+            )
+            # Catch the new partition up to the global horizon so its
+            # first events are judged against the same promise.
+            if self._last_broadcast >= 0:
+                engine.feed(Punctuation(self._last_broadcast))
+            self._partitions[value] = engine
+        return engine
+
+    def state_size(self) -> int:
+        return sum(engine.state_size() for engine in self._partitions.values())
+
+    # -- processing ------------------------------------------------------------------
+
+    def _process_event(self, event: Event) -> List[Match]:
+        emitted: List[Match] = []
+        if self.clock.is_late(event):
+            self.stats.late_dropped += 1
+            if self.late_policy is LatePolicy.RAISE:
+                from repro.core.errors import DisorderBoundViolation
+
+                raise DisorderBoundViolation(event, self.clock.now, self.k or 0)
+            if self.late_policy is LatePolicy.DROP:
+                return emitted
+        if self.clock.observe(event):
+            self.stats.out_of_order_events += 1
+
+        if event.etype in self.pattern.relevant_types:
+            value = event.get(self.key)
+            if value is None and self.key not in event:
+                self.stats.events_ignored += 1
+            else:
+                sub = self._sub_engine(value)
+                for match in sub.feed(event):
+                    self._surface(match, emitted)
+                self.stats.events_admitted += 1
+        else:
+            self.stats.events_ignored += 1
+
+        self._since_punctuation += 1
+        if self._since_punctuation >= self.punctuate_every:
+            self._broadcast_horizon(emitted)
+            self._since_punctuation = 0
+        return emitted
+
+    def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
+        self.clock.observe_punctuation(punctuation)
+        emitted: List[Match] = []
+        for engine in self._partitions.values():
+            for match in engine.feed(punctuation):
+                self._surface(match, emitted)
+        self._last_broadcast = max(self._last_broadcast, punctuation.ts)
+        return emitted
+
+    def _broadcast_horizon(self, emitted: List[Match]) -> None:
+        horizon = self.clock.horizon()
+        if horizon <= self._last_broadcast or horizon < 0:
+            return
+        self._last_broadcast = horizon
+        punctuation = Punctuation(horizon)
+        for engine in self._partitions.values():
+            for match in engine.feed(punctuation):
+                self._surface(match, emitted)
+
+    def _flush(self) -> List[Match]:
+        emitted: List[Match] = []
+        for engine in self._partitions.values():
+            for match in engine.close():
+                self._surface(match, emitted)
+        return emitted
+
+    def _surface(self, match: Match, emitted: List[Match]) -> None:
+        self._emit(match, self.clock.now)
+        emitted.append(match)
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def merged_substats(self):
+        """Aggregated work counters across all partitions."""
+        from repro.core.stats import EngineStats
+
+        merged = EngineStats()
+        for engine in self._partitions.values():
+            merged.merge(engine.stats)
+        return merged

@@ -1,0 +1,157 @@
+"""State purge: keeping engine memory bounded under disorder.
+
+Purging is where out-of-order arrival hurts most.  An in-order engine
+can discard an instance as soon as the current timestamp passes its
+window; under disorder a *late* arrival might still need that instance,
+so purge decisions must be keyed on the **safe horizon** derived from
+the disorder bound K (see ``repro.core.clock``), not on the raw clock.
+
+Derivation of the thresholds (W = window, h = horizon; "future" events
+have occurrence time > h):
+
+* an instance at a **non-final** step can only join matches whose last
+  event is within W above it; future arrivals satisfy ``ts > h``, so
+  once ``e.ts + W <= h`` nothing can complete it → purge ``e.ts <= h - W``;
+* an instance at the **final** step needs strictly-older future
+  arrivals to form new matches; once ``e.ts - 1 <= h`` none can arrive
+  → purge ``e.ts <= h + 1`` (the paper's observation that final-step
+  state can be dropped much earlier);
+* a **negated-type** event can only invalidate matches whose negation
+  bracket contains it; every such bracket seals no later than
+  ``e.ts + W`` on the horizon axis (proof in ``repro.core.negation``)
+  and the engine seals pending matches *before* purging → purge
+  ``e.ts <= h - W``.
+
+Three policies are provided for the ablation (experiment E5):
+
+* **EAGER** — purge after every element; minimal state, per-event cost;
+* **LAZY** — purge every *interval* elements; amortised cost, state
+  overshoots between runs;
+* **NONE** — never purge; the pathological configuration that shows
+  why purge algorithms matter (state grows without bound).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.stacks import NegativeStore, StackSet
+from repro.core.stats import EngineStats
+
+
+class PurgeMode(enum.Enum):
+    """When purge runs relative to event processing."""
+
+    NONE = "none"
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+class PurgePolicy:
+    """A purge schedule; construct via the class methods.
+
+    >>> PurgePolicy.eager()
+    PurgePolicy(eager)
+    >>> PurgePolicy.lazy(interval=256)
+    PurgePolicy(lazy, interval=256)
+    """
+
+    __slots__ = ("mode", "interval", "_since_last")
+
+    def __init__(self, mode: PurgeMode, interval: int = 1):
+        if mode is PurgeMode.LAZY:
+            if not isinstance(interval, int) or isinstance(interval, bool) or interval < 1:
+                raise ConfigurationError(
+                    f"lazy purge interval must be a positive int, got {interval!r}"
+                )
+        self.mode = mode
+        self.interval = interval
+        self._since_last = 0
+
+    @classmethod
+    def none(cls) -> "PurgePolicy":
+        """Never purge (pathological baseline for E5)."""
+        return cls(PurgeMode.NONE)
+
+    @classmethod
+    def eager(cls) -> "PurgePolicy":
+        """Purge after every processed element (the paper's default)."""
+        return cls(PurgeMode.EAGER)
+
+    @classmethod
+    def lazy(cls, interval: int = 128) -> "PurgePolicy":
+        """Purge every *interval* processed elements."""
+        return cls(PurgeMode.LAZY, interval=interval)
+
+    def due(self) -> bool:
+        """Advance the schedule by one element; True when purge should run."""
+        if self.mode is PurgeMode.NONE:
+            return False
+        if self.mode is PurgeMode.EAGER:
+            return True
+        self._since_last += 1
+        if self._since_last >= self.interval:
+            self._since_last = 0
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._since_last = 0
+
+    def __repr__(self) -> str:
+        if self.mode is PurgeMode.LAZY:
+            return f"PurgePolicy(lazy, interval={self.interval})"
+        return f"PurgePolicy({self.mode.value})"
+
+
+class Purger:
+    """Applies the threshold arithmetic to one engine's state."""
+
+    __slots__ = ("window", "pattern_length")
+
+    def __init__(self, window: int, pattern_length: int):
+        self.window = window
+        self.pattern_length = pattern_length
+
+    def run(
+        self,
+        horizon: int,
+        stacks: StackSet,
+        negatives: Optional[NegativeStore] = None,
+        stats: Optional[EngineStats] = None,
+        kleene: Optional[NegativeStore] = None,
+    ) -> int:
+        """Purge everything provably useless at *horizon*; returns drop count.
+
+        Callers must seal/emit pending negation matches *before*
+        invoking this (the negative-store threshold proof relies on it).
+        """
+        if horizon < 0:
+            return 0
+        dropped = 0
+        final = self.pattern_length - 1
+        for index, stack in enumerate(stacks):
+            if index == final:
+                dropped += stack.purge_through(horizon + 1)
+            else:
+                dropped += stack.purge_through(horizon - self.window)
+        if stats is not None:
+            stats.instances_purged += dropped
+        if negatives is not None:
+            neg_dropped = negatives.purge_through(horizon - self.window)
+            dropped += neg_dropped
+            if stats is not None:
+                stats.negatives_purged += neg_dropped
+        if kleene is not None:
+            # Kleene elements share the negatives' retention proof: any
+            # unsealed bracket that could collect them lies above
+            # horizon - W, and sealing runs before purging.
+            kleene_dropped = kleene.purge_through(horizon - self.window)
+            dropped += kleene_dropped
+            if stats is not None:
+                stats.negatives_purged += kleene_dropped
+        if stats is not None:
+            stats.purge_runs += 1
+        return dropped

@@ -1,0 +1,183 @@
+"""Multi-query registry: one stream in, many pattern queries out.
+
+A CEP deployment registers many queries against one event bus.  The
+naive shape — feed every element to every engine — spends most of its
+time asking engines about events they ignore (each engine's scan
+re-checks relevance).  :class:`QueryRegistry` indexes engines by the
+event types their patterns mention and routes each event only to the
+engines that care, which is how the paper-era systems (and today's)
+dispatch.
+
+Punctuations are broadcast to every engine (they carry stream progress,
+which every engine needs regardless of types).  The registry also
+tracks a shared clock so callers can observe global progress without
+touching member engines.
+
+Engines keep their own results; the registry's ``feed`` returns the
+per-call emissions tagged with the owning query's name so a consumer
+can demultiplex.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.clock import StreamClock
+from repro.core.engine import Engine
+from repro.core.errors import ConfigurationError
+from repro.core.event import Punctuation, StreamElement, is_event
+from repro.core.pattern import Match
+
+
+class QueryRegistry:
+    """Type-indexed dispatch of one stream to many engines.
+
+    >>> registry = QueryRegistry()
+    >>> registry.register(OutOfOrderEngine(query_a, k=10))   # doctest: +SKIP
+    >>> registry.register(OutOfOrderEngine(query_b, k=10))   # doctest: +SKIP
+    >>> registry.feed(event)                                 # doctest: +SKIP
+    [("qa", Match[qa](...))]
+    """
+
+    def __init__(self) -> None:
+        self._engines: Dict[str, Engine] = {}
+        self._by_type: Dict[str, List[Engine]] = {}
+        self.clock = StreamClock(k=None)
+        self.events_routed = 0
+        self.events_skipped = 0
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, engine: Engine) -> None:
+        """Add an engine; its pattern's name must be unique in the registry."""
+        name = engine.pattern.name
+        if name in self._engines:
+            raise ConfigurationError(
+                f"a query named {name!r} is already registered; "
+                "give patterns unique names"
+            )
+        self._engines[name] = engine
+        for etype in engine.pattern.relevant_types:
+            self._by_type.setdefault(etype, []).append(engine)
+
+    def unregister(self, name: str) -> Engine:
+        """Remove and return the engine owning query *name*."""
+        try:
+            engine = self._engines.pop(name)
+        except KeyError:
+            raise ConfigurationError(f"no query named {name!r} registered") from None
+        for engines in self._by_type.values():
+            if engine in engines:
+                engines.remove(engine)
+        return engine
+
+    def engine(self, name: str) -> Engine:
+        """The engine owning query *name*."""
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise ConfigurationError(f"no query named {name!r} registered") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._engines)
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    # -- stream processing ---------------------------------------------------------
+
+    def feed(self, element: StreamElement) -> List[Tuple[str, Match]]:
+        """Route one element; returns (query name, match) pairs emitted now."""
+        emitted: List[Tuple[str, Match]] = []
+        if is_event(element):
+            self.clock.observe(element)
+            interested = self._by_type.get(element.etype)
+            if not interested:
+                self.events_skipped += 1
+                return emitted
+            self.events_routed += 1
+            for engine in interested:
+                for match in engine.feed(element):
+                    emitted.append((engine.pattern.name, match))
+        else:
+            self.clock.observe_punctuation(element)
+            for engine in self._engines.values():
+                for match in engine.feed(element):
+                    emitted.append((engine.pattern.name, match))
+        return emitted
+
+    def feed_many(self, elements: Iterable[StreamElement]) -> List[Tuple[str, Match]]:
+        emitted: List[Tuple[str, Match]] = []
+        for element in elements:
+            emitted.extend(self.feed(element))
+        return emitted
+
+    def close(self) -> List[Tuple[str, Match]]:
+        """Close every engine; returns final emissions."""
+        emitted: List[Tuple[str, Match]] = []
+        for engine in self._engines.values():
+            for match in engine.close():
+                emitted.append((engine.pattern.name, match))
+        return emitted
+
+    def run(self, elements: Iterable[StreamElement]) -> List[Tuple[str, Match]]:
+        emitted = self.feed_many(elements)
+        emitted.extend(self.close())
+        return emitted
+
+    # -- introspection ---------------------------------------------------------------
+
+    def state_size(self) -> int:
+        """Combined retained state across all registered engines."""
+        return sum(engine.state_size() for engine in self._engines.values())
+
+    def results(self, name: Optional[str] = None):
+        """Results of one query, or ``{name: results}`` for all."""
+        if name is not None:
+            return list(self.engine(name).results)
+        return {n: list(e.results) for n, e in self._engines.items()}
+
+    def routing_ratio(self) -> float:
+        """Fraction of events that reached at least one engine."""
+        total = self.events_routed + self.events_skipped
+        return self.events_routed / total if total else 0.0
+
+
+class HeartbeatDriver:
+    """Inject registry-level punctuations from the shared clock.
+
+    When member engines run without a K promise (``k=None``) the
+    registry's global clock can still seal them: every *interval*
+    routed events, broadcast ``Punctuation(clock - slack - 1)``.
+    Mirrors :class:`repro.core.partition.PartitionedEngine`'s horizon
+    broadcast, at the multi-query level.
+    """
+
+    def __init__(self, registry: QueryRegistry, interval: int = 128, slack: int = 0):
+        if interval < 1:
+            raise ConfigurationError(f"interval must be >= 1, got {interval}")
+        if slack < 0:
+            raise ConfigurationError(f"slack must be >= 0, got {slack}")
+        self.registry = registry
+        self.interval = interval
+        self.slack = slack
+        self._since = 0
+        self._last = -1
+
+    def feed(self, element: StreamElement) -> List[Tuple[str, Match]]:
+        emitted = self.registry.feed(element)
+        if is_event(element):
+            self._since += 1
+            if self._since >= self.interval:
+                self._since = 0
+                asserted = self.registry.clock.now - self.slack - 1
+                if asserted > self._last and asserted >= 0:
+                    self._last = asserted
+                    emitted = emitted + self.registry.feed(Punctuation(asserted))
+        return emitted
+
+    def feed_many(self, elements: Iterable[StreamElement]) -> List[Tuple[str, Match]]:
+        emitted: List[Tuple[str, Match]] = []
+        for element in elements:
+            emitted.extend(self.feed(element))
+        return emitted

@@ -1,0 +1,182 @@
+"""Buffer-and-sort baseline: fix disorder *before* the engine.
+
+The conservative alternative the paper argues against: put a K-slack
+reorder buffer in front of an unmodified in-order engine.  Events are
+held in a priority queue keyed on occurrence time and released — in
+timestamp order — only once the clock guarantees nothing older can
+still arrive (``ts <= clock - K``).  The inner engine then sees a
+perfectly ordered stream and is exactly correct.
+
+The price, which experiments E3/E4 quantify:
+
+* **latency** — every event, and therefore every result, is delayed by
+  up to K time units even when the stream happens to be in order;
+* **memory** — the buffer holds O(arrival rate × K) events *in
+  addition to* the engine's own state;
+* **throughput** — the heap adds log-cost per event, though this is
+  minor next to the latency cost.
+
+Correctness matches the oracle exactly (pinned by tests), so E2/E3
+compare two *correct* systems — the paper's native engine wins on
+latency and buffer memory, not on result quality.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.core.clock import StreamClock
+from repro.core.engine import Engine
+from repro.core.errors import ConfigurationError
+from repro.core.event import Event, Punctuation
+from repro.core.inorder import InOrderEngine
+from repro.core.pattern import Match, Pattern
+from repro.core.purge import PurgePolicy
+
+
+class ReorderingEngine(Engine):
+    """K-slack reorder buffer feeding an :class:`InOrderEngine`.
+
+    Parameters
+    ----------
+    pattern:
+        The compiled query.
+    k:
+        Disorder bound; must be a concrete integer here (the buffer
+        needs a release rule; ``None`` would buffer forever).
+    purge:
+        Purge policy for the *inner* engine.
+    memory_limit:
+        When set, the reorder buffer holds at most this many events in
+        memory and spills overflow to disk segments
+        (:class:`repro.streams.spill.SpillingReorderBuffer`) — the
+        persistent-storage support for spiky workloads.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        k: int,
+        purge: Optional[PurgePolicy] = None,
+        memory_limit: Optional[int] = None,
+    ):
+        super().__init__(pattern)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+            raise ConfigurationError(
+                f"ReorderingEngine requires a concrete disorder bound K >= 0, got {k!r}"
+            )
+        self.k = k
+        self.clock = StreamClock(k)
+        self.inner = InOrderEngine(pattern, purge=purge)
+        self._buffer: List[tuple] = []  # (ts, eid, event) min-heap
+        self._spill = None
+        if memory_limit is not None:
+            from repro.streams.spill import SpillingReorderBuffer
+
+            self._spill = SpillingReorderBuffer(memory_limit=memory_limit)
+        self.buffer_peak = 0
+
+    # -- state ----------------------------------------------------------------
+
+    def state_size(self) -> int:
+        return self.buffer_size() + self.inner.state_size()
+
+    def buffer_size(self) -> int:
+        """Events currently held back by the reorder buffer (all tiers)."""
+        if self._spill is not None:
+            return len(self._spill)
+        return len(self._buffer)
+
+    def buffer_memory_size(self) -> int:
+        """Events held in *memory* (excludes spilled segments)."""
+        if self._spill is not None:
+            return self._spill.memory_size()
+        return len(self._buffer)
+
+    # -- processing -------------------------------------------------------------
+
+    def _process_event(self, event: Event) -> List[Match]:
+        if self.clock.is_late(event):
+            # The promise is broken; releasing it now would feed the inner
+            # engine out of order and void its correctness, so drop.
+            self.stats.late_dropped += 1
+            return []
+        if self.clock.observe(event):
+            self.stats.out_of_order_events += 1
+        if self._spill is not None:
+            self._spill.push(event)
+        else:
+            heapq.heappush(self._buffer, (event.ts, event.eid, event))
+        if self.buffer_size() > self.buffer_peak:
+            self.buffer_peak = self.buffer_size()
+        return self._drain()
+
+    def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
+        self.clock.observe_punctuation(punctuation)
+        emitted = self._drain()
+        emitted.extend(self._relay(self.inner.feed(punctuation)))
+        return emitted
+
+    def _drain(self) -> List[Match]:
+        """Release every sealed buffered event to the inner engine, in ts order."""
+        horizon = self.clock.horizon()
+        emitted: List[Match] = []
+        if self._spill is not None:
+            for event in self._spill.release(horizon):
+                emitted.extend(self._relay(self.inner.feed(event)))
+            return emitted
+        while self._buffer and self._buffer[0][0] <= horizon:
+            __, __, event = heapq.heappop(self._buffer)
+            emitted.extend(self._relay(self.inner.feed(event)))
+        return emitted
+
+    # Inner-engine work counters folded into the outer stats at close,
+    # so cost accounting (construction work, purge activity) is visible
+    # at the strategy level the benchmarks compare.  Flow counters
+    # (events_in, matches_emitted) are NOT folded — the outer engine
+    # already tracks those and folding would double-count.
+    _FOLDED_COUNTERS = (
+        "events_admitted",
+        "events_ignored",
+        "construction_triggers",
+        "construction_skipped_by_probe",
+        "partial_combinations",
+        "predicate_evaluations",
+        "window_rejections",
+        "matches_cancelled",
+        "purge_runs",
+        "instances_purged",
+        "negatives_purged",
+    )
+
+    def _flush(self) -> List[Match]:
+        emitted: List[Match] = []
+        if self._spill is not None:
+            for event in self._spill.drain():
+                emitted.extend(self._relay(self.inner.feed(event)))
+            self._spill.close()
+        while self._buffer:
+            __, __, event = heapq.heappop(self._buffer)
+            emitted.extend(self._relay(self.inner.feed(event)))
+        emitted.extend(self._relay(self.inner.close()))
+        for name in self._FOLDED_COUNTERS:
+            setattr(
+                self.stats,
+                name,
+                getattr(self.stats, name) + getattr(self.inner.stats, name),
+            )
+        return emitted
+
+    def _relay(self, matches: List[Match]) -> List[Match]:
+        """Surface inner-engine emissions through this engine's bookkeeping."""
+        for match in matches:
+            self._emit(match, self.clock.now)
+        return matches
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    @property
+    def inner_stats(self):
+        """Counters of the wrapped in-order engine."""
+        return self.inner.stats

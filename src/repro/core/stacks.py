@@ -1,0 +1,233 @@
+"""Active Instance Stacks (AIS): the engine's per-step state.
+
+The SASE architecture keeps, for every positive pattern step, a stack
+of *active instances* — events of that step's type that passed the
+per-step predicates and may still contribute to future matches.  With
+in-order arrival the stack is naturally sorted by occurrence time and
+new instances are appended.  The paper's key data-structure change is
+to keep the stacks **sorted by occurrence time under out-of-order
+insertion**: a late event is spliced into its timestamp position so
+that sequence construction can keep using ordered-range scans
+(binary-searched) regardless of arrival order.
+
+Each stored :class:`Instance` records its **arrival sequence number**.
+Construction uses it for exactly-once output: a combination is emitted
+only by the arrival of its latest-arriving member (see
+``repro.core.construction``).
+
+A parallel :class:`NegativeStore` holds events of negated types, also
+ts-sorted, consulted when a pending match's negation bracket seals.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.event import Event
+
+
+class Instance:
+    """An event admitted to a stack, tagged with its arrival sequence."""
+
+    __slots__ = ("event", "arrival")
+
+    def __init__(self, event: Event, arrival: int):
+        self.event = event
+        self.arrival = arrival
+
+    @property
+    def ts(self) -> int:
+        return self.event.ts
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Total order used inside stacks: occurrence time, then identity."""
+        return (self.event.ts, self.event.eid)
+
+    def __repr__(self) -> str:
+        return f"Instance({self.event!r}, arrival={self.arrival})"
+
+
+class SortedStack:
+    """A timestamp-sorted sequence of instances with range queries.
+
+    Despite the historical name "stack" (from SASE, where in-order
+    arrival makes it append-only), this structure supports O(log n)
+    positional insertion for late events and O(log n + m) range
+    extraction, which is what out-of-order construction needs.
+    """
+
+    __slots__ = ("step_index", "_instances", "_keys", "inserted", "purged")
+
+    def __init__(self, step_index: int):
+        self.step_index = step_index
+        self._instances: List[Instance] = []
+        self._keys: List[Tuple[int, int]] = []  # parallel (ts, eid) for bisect
+        self.inserted = 0
+        self.purged = 0
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances)
+
+    def insert(self, instance: Instance) -> int:
+        """Insert at the timestamp-sorted position; returns the index.
+
+        Appends in O(1) for the common in-order case, splices via
+        binary search otherwise.
+        """
+        key = instance.sort_key()
+        if not self._keys or key >= self._keys[-1]:
+            self._keys.append(key)
+            self._instances.append(instance)
+            index = len(self._instances) - 1
+        else:
+            index = bisect_right(self._keys, key)
+            self._keys.insert(index, key)
+            self._instances.insert(index, instance)
+        self.inserted += 1
+        return index
+
+    # -- range queries --------------------------------------------------------
+
+    def range_before(self, ts: int, min_ts: Optional[int] = None) -> List[Instance]:
+        """Instances with ``min_ts <= instance.ts < ts`` (min unbounded if None)."""
+        hi = bisect_left(self._keys, (ts, -1))
+        lo = 0 if min_ts is None else bisect_left(self._keys, (min_ts, -1))
+        return self._instances[lo:hi]
+
+    def range_after(self, ts: int, max_ts: Optional[int] = None) -> List[Instance]:
+        """Instances with ``ts < instance.ts <= max_ts`` (max unbounded if None)."""
+        lo = bisect_right(self._keys, (ts, float("inf")))
+        if max_ts is None:
+            return self._instances[lo:]
+        hi = bisect_right(self._keys, (max_ts, float("inf")))
+        return self._instances[lo:hi]
+
+    def has_before(self, ts: int) -> bool:
+        """True when some instance has occurrence time strictly below *ts*."""
+        return bool(self._instances) and self._keys[0][0] < ts
+
+    def has_after(self, ts: int) -> bool:
+        """True when some instance has occurrence time strictly above *ts*."""
+        return bool(self._instances) and self._keys[-1][0] > ts
+
+    def has_in_range(self, lo: int, hi: int) -> bool:
+        """True when some instance has occurrence time in ``[lo, hi]``."""
+        index = bisect_left(self._keys, (lo, -1))
+        return index < len(self._keys) and self._keys[index][0] <= hi
+
+    def min_ts(self) -> Optional[int]:
+        """Smallest occurrence time stored, or None when empty."""
+        return self._keys[0][0] if self._keys else None
+
+    def max_ts(self) -> Optional[int]:
+        """Largest occurrence time stored, or None when empty."""
+        return self._keys[-1][0] if self._keys else None
+
+    # -- purging ---------------------------------------------------------------
+
+    def purge_through(self, ts: int) -> int:
+        """Drop every instance with occurrence time ``<= ts``; returns count.
+
+        Instances are ts-sorted so this is a single prefix cut.
+        """
+        cut = bisect_right(self._keys, (ts, float("inf")))
+        if cut:
+            del self._instances[:cut]
+            del self._keys[:cut]
+            self.purged += cut
+        return cut
+
+    def clear(self) -> None:
+        self.purged += len(self._instances)
+        self._instances.clear()
+        self._keys.clear()
+
+
+class StackSet:
+    """The full AIS: one :class:`SortedStack` per positive pattern step."""
+
+    __slots__ = ("stacks",)
+
+    def __init__(self, length: int):
+        self.stacks: List[SortedStack] = [SortedStack(i) for i in range(length)]
+
+    def __getitem__(self, index: int) -> SortedStack:
+        return self.stacks[index]
+
+    def __len__(self) -> int:
+        return len(self.stacks)
+
+    def __iter__(self) -> Iterator[SortedStack]:
+        return iter(self.stacks)
+
+    def size(self) -> int:
+        """Total instances currently held across all stacks."""
+        return sum(len(stack) for stack in self.stacks)
+
+    def sizes(self) -> List[int]:
+        """Per-stack instance counts (diagnostics and memory experiments)."""
+        return [len(stack) for stack in self.stacks]
+
+    def total_purged(self) -> int:
+        return sum(stack.purged for stack in self.stacks)
+
+
+class NegativeStore:
+    """Timestamp-sorted stores of negated-type events, one per type.
+
+    Only consulted at *seal time* (conservative negation, see
+    ``repro.core.negation``), so it never drives construction — it just
+    needs ordered containment queries and prefix purging.
+    """
+
+    __slots__ = ("_by_type", "inserted", "purged")
+
+    def __init__(self, types: Iterable[str]):
+        self._by_type: Dict[str, Tuple[List[Tuple[int, int]], List[Event]]] = {
+            t: ([], []) for t in types
+        }
+        self.inserted = 0
+        self.purged = 0
+
+    def relevant(self, etype: str) -> bool:
+        return etype in self._by_type
+
+    def insert(self, event: Event) -> None:
+        keys, events = self._by_type[event.etype]
+        key = (event.ts, event.eid)
+        if not keys or key >= keys[-1]:
+            keys.append(key)
+            events.append(event)
+        else:
+            index = bisect_right(keys, key)
+            keys.insert(index, key)
+            events.insert(index, event)
+        self.inserted += 1
+
+    def between(self, etype: str, lo: int, hi: int) -> List[Event]:
+        """Events of *etype* with ``lo < ts < hi`` (exclusive bounds)."""
+        if etype not in self._by_type:
+            return []
+        keys, events = self._by_type[etype]
+        start = bisect_right(keys, (lo, float("inf")))
+        end = bisect_left(keys, (hi, -1))
+        return events[start:end]
+
+    def purge_through(self, ts: int) -> int:
+        """Drop all events with ``ts <= ts`` across every type; returns count."""
+        dropped = 0
+        for keys, events in self._by_type.values():
+            cut = bisect_right(keys, (ts, float("inf")))
+            if cut:
+                del keys[:cut]
+                del events[:cut]
+                dropped += cut
+        self.purged += dropped
+        return dropped
+
+    def size(self) -> int:
+        return sum(len(events) for _, events in self._by_type.values())

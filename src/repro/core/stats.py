@@ -1,0 +1,67 @@
+"""Operator-level counters: the hardware-independent CPU-cost proxy.
+
+The paper reports CPU cost; our substrate is pure Python on modern
+hardware, so absolute milliseconds are not comparable to a 2007 Java
+prototype.  Counters of the *algorithmic work performed* — construction
+attempts, partial combinations extended, predicate evaluations, purge
+scans — are comparable across engines and configurations, and they are
+what the optimisation experiments (E5, E6) report alongside wall time.
+
+Every engine owns an :class:`EngineStats`; substrates and the bench
+harness read it, never write it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class EngineStats:
+    """Mutable counter bundle; all counters start at zero."""
+
+    __slots__ = (
+        "events_in",
+        "punctuations_in",
+        "events_admitted",
+        "events_ignored",
+        "out_of_order_events",
+        "late_dropped",
+        "construction_triggers",
+        "construction_skipped_by_probe",
+        "partial_combinations",
+        "predicate_evaluations",
+        "window_rejections",
+        "matches_emitted",
+        "matches_pending",
+        "matches_cancelled",
+        "purge_runs",
+        "instances_purged",
+        "negatives_purged",
+        "peak_state_size",
+        "revocations",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def note_state_size(self, size: int) -> None:
+        """Track the high-water mark of total retained state."""
+        if size > self.peak_state_size:
+            self.peak_state_size = size
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters (stable key order for reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate *other* into self (peak is max-merged, not summed)."""
+        for name in self.__slots__:
+            if name == "peak_state_size":
+                self.note_state_size(other.peak_state_size)
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"EngineStats({parts})"

@@ -1,0 +1,72 @@
+"""Transformation operator: matches → composite output events.
+
+The paper's algebra ends with a *transformation* step that packages a
+detected pattern into a new composite event, so that downstream
+consumers (or further pattern queries — CEP is compositional) see an
+ordinary event stream.  The composite event's occurrence time is the
+occurrence time of the match's last positive event, which keeps the
+output stream's disorder bounded by the input's: a composite is
+produced no earlier than its own occurrence timestamp allows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.event import Event
+from repro.core.pattern import Match
+
+Extractor = Callable[[Mapping[str, Event]], Any]
+
+
+class CompositeEventFactory:
+    """Builds composite events from matches.
+
+    Parameters
+    ----------
+    etype:
+        Type name of the produced composite events.
+    fields:
+        Mapping of output attribute name → extractor.  An extractor is
+        either a ``"var.attr"`` string (sugar for a binding lookup) or
+        a callable receiving the match's bindings.
+
+    Examples
+    --------
+    >>> factory = CompositeEventFactory(
+    ...     "SHOPLIFT",
+    ...     {"tag": "s.tag", "dwell": lambda b: b["e"].ts - b["s"].ts},
+    ... )
+    """
+
+    def __init__(self, etype: str, fields: Optional[Dict[str, Any]] = None):
+        if not etype or not isinstance(etype, str):
+            raise ConfigurationError(f"composite event type must be a string, got {etype!r}")
+        self.etype = etype
+        self._extractors: Dict[str, Extractor] = {}
+        for name, spec in (fields or {}).items():
+            self._extractors[name] = self._compile(spec)
+
+    @staticmethod
+    def _compile(spec: Any) -> Extractor:
+        if callable(spec):
+            return spec
+        if isinstance(spec, str) and "." in spec:
+            var, __, attr = spec.partition(".")
+
+            def lookup(bindings: Mapping[str, Event], var=var, attr=attr) -> Any:
+                event = bindings[var]
+                return event.ts if attr == "ts" else event[attr]
+
+            return lookup
+        raise ConfigurationError(
+            f"field spec must be callable or 'var.attr' string, got {spec!r}"
+        )
+
+    def build(self, match: Match) -> Event:
+        """Produce the composite event for *match*."""
+        bindings = match.bindings()
+        attrs = {name: fn(bindings) for name, fn in self._extractors.items()}
+        attrs.setdefault("span", match.end_ts - match.start_ts)
+        return Event(self.etype, match.end_ts, attrs)

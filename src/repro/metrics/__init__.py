@@ -1,0 +1,39 @@
+"""Measurement toolkit: latency, memory, throughput, quality, reporting."""
+
+from repro.metrics.latency import (
+    LatencySummary,
+    arrival_latencies,
+    occurrence_latencies,
+    summarize_arrival_latency,
+    summarize_occurrence_latency,
+)
+from repro.metrics.memory import StateProbe
+from repro.metrics.quality import QualityReport, compare, compare_keys
+from repro.metrics.reporter import (
+    format_cell,
+    print_series,
+    print_table,
+    render_series,
+    render_table,
+)
+from repro.metrics.throughput import RunTiming, repeat_timed, timed_run
+
+__all__ = [
+    "LatencySummary",
+    "QualityReport",
+    "RunTiming",
+    "StateProbe",
+    "arrival_latencies",
+    "compare",
+    "compare_keys",
+    "format_cell",
+    "occurrence_latencies",
+    "print_series",
+    "print_table",
+    "render_series",
+    "render_table",
+    "repeat_timed",
+    "summarize_arrival_latency",
+    "summarize_occurrence_latency",
+    "timed_run",
+]

@@ -1,0 +1,56 @@
+"""State-size tracking: the memory axis of the experiments.
+
+Engine memory in this reproduction is measured in *retained elements*
+(stack instances + stored negatives + pending matches + reorder-buffer
+entries), not process bytes: element counts are deterministic,
+hardware-independent, and exactly what the paper's purge algorithms
+control.  Engines track their own high-water mark
+(``stats.peak_state_size``); :class:`StateProbe` adds full trajectories
+for the plots that need shape, not just the peak.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.core.engine import Engine
+from repro.core.event import StreamElement
+
+
+class StateProbe:
+    """Samples an engine's state size every *stride* fed elements."""
+
+    def __init__(self, engine: Engine, stride: int = 100):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.engine = engine
+        self.stride = stride
+        self.samples: List[Tuple[int, int]] = []  # (fed_count, state_size)
+        self._fed = 0
+
+    def feed_many(self, elements: Iterable[StreamElement]) -> None:
+        """Feed elements through the engine, sampling along the way."""
+        for element in elements:
+            self.engine.feed(element)
+            self._fed += 1
+            if self._fed % self.stride == 0:
+                self.samples.append((self._fed, self.engine.state_size()))
+
+    def close(self) -> None:
+        self.engine.close()
+        self.samples.append((self._fed, self.engine.state_size()))
+
+    @property
+    def peak(self) -> int:
+        """Largest sampled state size (engine stats may exceed between samples)."""
+        return max((size for __, size in self.samples), default=0)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(size for __, size in self.samples) / len(self.samples)
+
+    def trajectory(self) -> List[Tuple[int, int]]:
+        """(fed_count, state_size) samples in feed order."""
+        return list(self.samples)

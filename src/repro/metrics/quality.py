@@ -1,0 +1,67 @@
+"""Result-quality metrics: recall/precision against the oracle.
+
+Experiment E1 (and every correctness assertion in the test suite)
+reduces to comparing an engine's emitted result set with the offline
+oracle's.  Matches compare by identity keys (pattern name + member
+event ids), so set arithmetic is exact — no fuzzy matching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.core.pattern import Match
+
+
+class QualityReport:
+    """Recall / precision / F1 of a produced result set vs. ground truth."""
+
+    __slots__ = ("truth_size", "produced_size", "missed", "spurious")
+
+    def __init__(self, truth: Set[Tuple], produced: Set[Tuple]):
+        self.truth_size = len(truth)
+        self.produced_size = len(produced)
+        self.missed = len(truth - produced)
+        self.spurious = len(produced - truth)
+
+    @property
+    def recall(self) -> float:
+        if self.truth_size == 0:
+            return 1.0
+        return (self.truth_size - self.missed) / self.truth_size
+
+    @property
+    def precision(self) -> float:
+        if self.produced_size == 0:
+            return 1.0 if self.truth_size == 0 else 0.0
+        return (self.produced_size - self.spurious) / self.produced_size
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    @property
+    def exact(self) -> bool:
+        """True when the produced set equals the truth set exactly."""
+        return self.missed == 0 and self.spurious == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityReport(recall={self.recall:.3f}, precision={self.precision:.3f}, "
+            f"missed={self.missed}, spurious={self.spurious})"
+        )
+
+
+def compare(truth: Iterable[Match], produced: Iterable[Match]) -> QualityReport:
+    """Build a report from two match collections (any iterables)."""
+    truth_keys = {m.key() for m in truth}
+    produced_keys = {m.key() for m in produced}
+    return QualityReport(truth_keys, produced_keys)
+
+
+def compare_keys(truth: Set[Tuple], produced: Set[Tuple]) -> QualityReport:
+    """Build a report from pre-extracted identity-key sets."""
+    return QualityReport(set(truth), set(produced))

@@ -1,0 +1,46 @@
+"""Throughput measurement: wall time and its hardware-free proxy.
+
+Wall-clock events/second depends on the host; the *operation counters*
+(``EngineStats``) do not.  :func:`timed_run` reports both so each
+benchmark table can show a wall number for intuition next to the
+counter ratios that actually reproduce the paper's relative claims.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple
+
+from repro.core.engine import Engine
+from repro.core.event import StreamElement
+
+
+class RunTiming(NamedTuple):
+    """Result of one timed engine run."""
+
+    events: int
+    seconds: float
+    matches: int
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else float("inf")
+
+
+def timed_run(engine: Engine, elements: List[StreamElement]) -> RunTiming:
+    """Feed all elements and close, under a monotonic timer."""
+    start = time.perf_counter()
+    engine.feed_many(elements)
+    engine.close()
+    seconds = time.perf_counter() - start
+    return RunTiming(len(elements), seconds, len(engine.results))
+
+
+def repeat_timed(engine_factory, elements: List[StreamElement], repeats: int = 3) -> RunTiming:
+    """Best-of-N timing with a fresh engine per repeat (reduces jitter)."""
+    best: RunTiming = timed_run(engine_factory(), elements)
+    for __ in range(max(0, repeats - 1)):
+        candidate = timed_run(engine_factory(), elements)
+        if candidate.seconds < best.seconds:
+            best = candidate
+    return best

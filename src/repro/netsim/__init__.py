@@ -1,0 +1,29 @@
+"""Discrete-event network simulator: physically motivated disorder."""
+
+from repro.netsim.failure import FailureSchedule
+from repro.netsim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    GaussianLatency,
+    LatencyModel,
+    ParetoLatency,
+    UniformLatency,
+)
+from repro.netsim.simulator import Delivery, NetworkSimulator, SimulationResult, simulate_star
+from repro.netsim.topology import Link, Topology
+
+__all__ = [
+    "ConstantLatency",
+    "Delivery",
+    "ExponentialLatency",
+    "FailureSchedule",
+    "GaussianLatency",
+    "LatencyModel",
+    "Link",
+    "NetworkSimulator",
+    "ParetoLatency",
+    "SimulationResult",
+    "Topology",
+    "UniformLatency",
+    "simulate_star",
+]

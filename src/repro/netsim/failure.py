@@ -1,0 +1,92 @@
+"""Node failure schedules: the paper's second disorder cause.
+
+A failed node does not lose events here (sources buffer and resend);
+it *holds* them: an event reaching a failed node waits until the node
+recovers, then proceeds.  The result at the sink is a burst of stale
+events right after each recovery — the bursty disorder signature that
+distinguishes machine failure from latency jitter.
+
+Schedules are precomputed (deterministic under seed) as disjoint
+``[start, end)`` outage intervals per node, supporting O(log n) "when
+does this node next work at or after t" queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+from repro.core.errors import ConfigurationError
+
+
+class FailureSchedule:
+    """Outage intervals for a set of nodes."""
+
+    def __init__(self) -> None:
+        self._outages: Dict[str, List[Tuple[int, int]]] = {}
+
+    def add_outage(self, node: str, start: int, end: int) -> None:
+        """Mark *node* down during ``[start, end)``; intervals must not overlap."""
+        if end <= start:
+            raise ConfigurationError(f"empty outage [{start}, {end})")
+        intervals = self._outages.setdefault(node, [])
+        for existing_start, existing_end in intervals:
+            if start < existing_end and existing_start < end:
+                raise ConfigurationError(
+                    f"overlapping outage [{start}, {end}) on {node!r}"
+                )
+        intervals.append((start, end))
+        intervals.sort()
+
+    def available_at(self, node: str, t: int) -> int:
+        """Earliest time ``>= t`` at which *node* is up."""
+        intervals = self._outages.get(node)
+        if not intervals:
+            return t
+        index = bisect.bisect_right(intervals, (t, float("inf"))) - 1
+        if index >= 0:
+            start, end = intervals[index]
+            if start <= t < end:
+                return end
+        return t
+
+    def is_down(self, node: str, t: int) -> bool:
+        return self.available_at(node, t) != t
+
+    def outages(self, node: str) -> List[Tuple[int, int]]:
+        return list(self._outages.get(node, []))
+
+    @classmethod
+    def random_outages(
+        cls,
+        nodes: Sequence[str],
+        horizon: int,
+        outage_rate: float,
+        mean_duration: int,
+        seed: int = 0,
+    ) -> "FailureSchedule":
+        """Poisson-ish outage process per node over ``[0, horizon)``.
+
+        Each node independently fails with probability *outage_rate*
+        per time unit (geometric gaps), staying down for an
+        exponentially distributed duration with the given mean.
+        """
+        if not 0.0 <= outage_rate <= 1.0:
+            raise ConfigurationError(f"outage_rate must be in [0, 1], got {outage_rate}")
+        if mean_duration < 1:
+            raise ConfigurationError(f"mean_duration must be >= 1, got {mean_duration}")
+        schedule = cls()
+        rng = random.Random(seed)
+        for node in nodes:
+            t = 0
+            while t < horizon and outage_rate > 0:
+                gap = rng.expovariate(outage_rate) if outage_rate < 1 else 0
+                t += int(gap) + 1
+                if t >= horizon:
+                    break
+                duration = max(1, int(rng.expovariate(1.0 / mean_duration)))
+                schedule.add_outage(node, t, min(t + duration, horizon))
+                t += duration
+        return schedule

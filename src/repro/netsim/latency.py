@@ -1,0 +1,119 @@
+"""Latency distributions for simulated network links.
+
+Each distribution maps an RNG to a non-negative integer delay in
+occurrence-time units.  The shapes cover the regimes that matter for
+disorder studies:
+
+* :class:`ConstantLatency` — pure propagation delay: shifts arrival
+  times but, alone, never reorders a single stream;
+* :class:`UniformLatency` — bounded jitter, the benign case where a
+  small fixed K suffices;
+* :class:`ExponentialLatency` — classic queueing delay;
+* :class:`ParetoLatency` — heavy tail: rare but enormous stragglers,
+  the regime where a max-based K explodes and quantile estimation
+  (E12) pays off;
+* :class:`GaussianLatency` — clipped normal, for symmetric jitter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import ConfigurationError
+
+
+class LatencyModel:
+    """Base class: a per-hop delay sampler."""
+
+    def sample(self, rng: random.Random) -> int:
+        """A non-negative integer delay."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Always exactly *delay* units."""
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> int:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniform integer delay in ``[low, high]``."""
+
+    def __init__(self, low: int, high: int):
+        if low < 0 or high < low:
+            raise ConfigurationError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponential delay with the given *mean*, discretised."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be > 0, got {mean}")
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> int:
+        return int(rng.expovariate(1.0 / self.mean))
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(mean={self.mean})"
+
+
+class ParetoLatency(LatencyModel):
+    """Heavy-tailed delay: ``scale`` minimum, tail index ``alpha``.
+
+    Smaller *alpha* = heavier tail; alpha <= 1 has infinite mean — the
+    adversarial regime for fixed-K sizing.  Samples are capped at *cap*
+    to keep simulations finite.
+    """
+
+    def __init__(self, scale: int = 1, alpha: float = 1.5, cap: int = 10_000):
+        if scale < 0:
+            raise ConfigurationError(f"scale must be >= 0, got {scale}")
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+        if cap < scale:
+            raise ConfigurationError(f"cap must be >= scale, got {cap}")
+        self.scale = scale
+        self.alpha = alpha
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> int:
+        value = int(self.scale * rng.paretovariate(self.alpha))
+        return min(value, self.cap)
+
+    def __repr__(self) -> str:
+        return f"ParetoLatency(scale={self.scale}, alpha={self.alpha}, cap={self.cap})"
+
+
+class GaussianLatency(LatencyModel):
+    """Normal delay clipped at zero."""
+
+    def __init__(self, mean: float, stddev: float):
+        if mean < 0 or stddev < 0:
+            raise ConfigurationError("mean and stddev must be >= 0")
+        self.mean = mean
+        self.stddev = stddev
+
+    def sample(self, rng: random.Random) -> int:
+        return max(0, int(rng.gauss(self.mean, self.stddev)))
+
+    def __repr__(self) -> str:
+        return f"GaussianLatency(mean={self.mean}, stddev={self.stddev})"

@@ -1,0 +1,125 @@
+"""Network topology: sources, relay nodes, links, and routes.
+
+A topology is a DAG of named nodes connected by latency-bearing links.
+Each event source is attached to a node; its events travel the node's
+*route* (the link path to the sink) accumulating per-hop sampled
+latency and any failure-induced hold time (``repro.netsim.failure``).
+The sink is where the CEP engine sits; the simulator orders deliveries
+by arrival time there.
+
+Kept deliberately simple — routes are static paths, no congestion
+model — because the *disorder pattern* at the sink is what the paper's
+experiments need, not a faithful TCP simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.netsim.latency import ConstantLatency, LatencyModel
+
+
+class Link:
+    """A directed edge with a latency model."""
+
+    __slots__ = ("src", "dst", "latency")
+
+    def __init__(self, src: str, dst: str, latency: LatencyModel):
+        if src == dst:
+            raise ConfigurationError(f"self-loop link at {src!r}")
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+
+    def __repr__(self) -> str:
+        return f"Link({self.src} -> {self.dst}, {self.latency!r})"
+
+
+class Topology:
+    """A set of nodes and directed links with path lookup.
+
+    >>> topo = Topology(["s1", "relay", "sink"])
+    >>> topo.add_link("s1", "relay", ConstantLatency(2))
+    >>> topo.add_link("relay", "sink", ConstantLatency(1))
+    >>> [l.src for l in topo.route("s1", "sink")]
+    ['s1', 'relay']
+    """
+
+    def __init__(self, nodes: Sequence[str]):
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError("duplicate node names")
+        self.nodes: List[str] = list(nodes)
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, List[str]] = {node: [] for node in nodes}
+
+    def add_link(self, src: str, dst: str, latency: LatencyModel) -> Link:
+        for name in (src, dst):
+            if name not in self._adjacency:
+                raise ConfigurationError(f"unknown node {name!r}")
+        if (src, dst) in self._links:
+            raise ConfigurationError(f"duplicate link {src!r} -> {dst!r}")
+        link = Link(src, dst, latency)
+        self._links[(src, dst)] = link
+        self._adjacency[src].append(dst)
+        return link
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(f"no link {src!r} -> {dst!r}") from None
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Shortest-hop path as a list of links (BFS; raises if unreachable)."""
+        if src not in self._adjacency or dst not in self._adjacency:
+            raise ConfigurationError(f"unknown endpoint in route {src!r} -> {dst!r}")
+        if src == dst:
+            return []
+        parents: Dict[str, str] = {}
+        frontier = [src]
+        seen = {src}
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for neighbour in self._adjacency[node]:
+                    if neighbour in seen:
+                        continue
+                    parents[neighbour] = node
+                    if neighbour == dst:
+                        return self._unwind(parents, src, dst)
+                    seen.add(neighbour)
+                    nxt.append(neighbour)
+            frontier = nxt
+        raise ConfigurationError(f"no route {src!r} -> {dst!r}")
+
+    def _unwind(self, parents: Dict[str, str], src: str, dst: str) -> List[Link]:
+        path: List[Link] = []
+        node = dst
+        while node != src:
+            parent = parents[node]
+            path.append(self._links[(parent, node)])
+            node = parent
+        path.reverse()
+        return path
+
+    @classmethod
+    def star(
+        cls,
+        source_names: Sequence[str],
+        sink: str = "sink",
+        latency_factory=None,
+    ) -> "Topology":
+        """Convenience: every source linked directly to one sink.
+
+        *latency_factory* is called once per source (with its index) to
+        produce that link's latency model; defaults to constant zero.
+        """
+        nodes = list(source_names) + [sink]
+        topology = cls(nodes)
+        for index, name in enumerate(source_names):
+            model = (
+                latency_factory(index) if latency_factory is not None else ConstantLatency(0)
+            )
+            topology.add_link(name, sink, model)
+        return topology

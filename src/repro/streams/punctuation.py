@@ -1,0 +1,103 @@
+"""Punctuation injection: in-band progress assertions.
+
+A punctuation ``<= t`` tells the engine no event with occurrence time
+at or below *t* remains in flight, letting it purge and seal negation
+beyond what the K promise alone allows.  Two injectors cover the usual
+deployment shapes:
+
+* :class:`PeriodicPunctuator` — a source that knows its own send buffer
+  is flushed emits a punctuation every *period* events, lagging the
+  max emitted timestamp by a *slack* it guarantees locally;
+* :class:`HeartbeatPunctuator` — wall-clock-style heartbeats on the
+  occurrence-time axis: whenever the stream's max timestamp advances by
+  at least *interval*, assert ``<= max_ts - slack``.
+
+Both are conservative: they never assert beyond what the configured
+slack justifies, and the injected stream's event content is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.core.errors import ConfigurationError
+from repro.core.event import Event, Punctuation, StreamElement
+
+
+class PeriodicPunctuator:
+    """Insert a punctuation after every *period* events.
+
+    The asserted timestamp is ``max_ts_so_far - slack - 1``; *slack*
+    must dominate the residual disorder the source cannot rule out
+    (zero for a source that is itself ordered).  The extra ``- 1``
+    mirrors the engine-clock horizon convention: an event delayed by
+    exactly *slack* — or a timestamp tie at slack zero — may still
+    arrive, so only strictly older times are sealed.
+    """
+
+    def __init__(self, period: int, slack: int = 0):
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if slack < 0:
+            raise ConfigurationError(f"slack must be >= 0, got {slack}")
+        self.period = period
+        self.slack = slack
+
+    def apply(self, events: Iterable[Event]) -> Iterator[StreamElement]:
+        max_ts = -1
+        count = 0
+        last_asserted = -1
+        for event in events:
+            if event.ts > max_ts:
+                max_ts = event.ts
+            yield event
+            count += 1
+            if count % self.period == 0:
+                asserted = max_ts - self.slack - 1
+                if asserted > last_asserted and asserted >= 0:
+                    last_asserted = asserted
+                    yield Punctuation(asserted)
+
+
+class HeartbeatPunctuator:
+    """Punctuate whenever occurrence time advances by *interval*."""
+
+    def __init__(self, interval: int, slack: int = 0):
+        if interval < 1:
+            raise ConfigurationError(f"interval must be >= 1, got {interval}")
+        if slack < 0:
+            raise ConfigurationError(f"slack must be >= 0, got {slack}")
+        self.interval = interval
+        self.slack = slack
+
+    def apply(self, events: Iterable[Event]) -> Iterator[StreamElement]:
+        max_ts = -1
+        next_beat = self.interval
+        last_asserted = -1
+        for event in events:
+            if event.ts > max_ts:
+                max_ts = event.ts
+            yield event
+            if max_ts >= next_beat:
+                asserted = max_ts - self.slack - 1
+                if asserted > last_asserted and asserted >= 0:
+                    last_asserted = asserted
+                    yield Punctuation(asserted)
+                while next_beat <= max_ts:
+                    next_beat += self.interval
+
+
+def strip_punctuation(elements: Iterable[StreamElement]) -> List[Event]:
+    """Remove punctuations, keeping events in place (test helper)."""
+    return [element for element in elements if isinstance(element, Event)]
+
+
+def validate_punctuation(elements: Iterable[StreamElement]) -> bool:
+    """True when no event contradicts a preceding punctuation."""
+    asserted = -1
+    for element in elements:
+        if isinstance(element, Punctuation):
+            asserted = max(asserted, element.ts)
+        elif element.ts <= asserted:
+            return False
+    return True

@@ -1,0 +1,47 @@
+"""Workload generators and their canned pattern queries."""
+
+from repro.workloads.intrusion import (
+    IntrusionGenerator,
+    IntrusionTrace,
+    brute_force_query,
+    exfiltration_query,
+)
+from repro.workloads.rfid import (
+    RfidStoreGenerator,
+    RfidTrace,
+    detected_tags,
+    restock_query,
+    shoplifting_query,
+)
+from repro.workloads.stock import (
+    StockFeedGenerator,
+    accumulation_query,
+    calm_rise_query,
+    rally_query,
+    vshape_query,
+)
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    chain_query,
+    rate_sweep_workloads,
+)
+
+__all__ = [
+    "IntrusionGenerator",
+    "IntrusionTrace",
+    "RfidStoreGenerator",
+    "RfidTrace",
+    "StockFeedGenerator",
+    "SyntheticWorkload",
+    "accumulation_query",
+    "brute_force_query",
+    "calm_rise_query",
+    "chain_query",
+    "detected_tags",
+    "exfiltration_query",
+    "rally_query",
+    "rate_sweep_workloads",
+    "restock_query",
+    "shoplifting_query",
+    "vshape_query",
+]

@@ -1,0 +1,157 @@
+"""Intrusion-detection workload: the paper's second motivating application.
+
+Real-time intrusion detection over security event streams.  Two canned
+attack signatures:
+
+* **brute force** — repeated failed logins from one source followed by
+  a success within a short window::
+
+      PATTERN SEQ(LOGIN_FAIL f1, LOGIN_FAIL f2, LOGIN_FAIL f3, LOGIN_OK s)
+      WHERE f1.src == f2.src AND f2.src == f3.src AND f3.src == s.src
+      WITHIN <window>
+
+* **exfiltration with negation** — a privileged read followed by a
+  large outbound transfer with *no* audit record in between::
+
+      PATTERN SEQ(PRIV_READ r, !AUDIT a, UPLOAD u)
+      WHERE r.src == u.src AND a.src == r.src
+      WITHIN <window>
+
+The generator simulates a population of benign hosts (occasional
+isolated failures, audited uploads) and a few attackers executing the
+signatures; ground-truth attacker source ids are returned so detection
+quality is directly checkable.  Sensor streams arrive via independent
+collectors in deployments, so this workload is routinely out of order —
+exactly the paper's pitch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple, Set
+
+from repro.core.errors import ConfigurationError
+from repro.core.event import Event
+from repro.core.parser import parse
+from repro.core.pattern import Pattern
+
+LOGIN_FAIL = "LOGIN_FAIL"
+LOGIN_OK = "LOGIN_OK"
+PRIV_READ = "PRIV_READ"
+AUDIT = "AUDIT"
+UPLOAD = "UPLOAD"
+
+
+def brute_force_query(within: int = 300, name: str = "brute_force") -> Pattern:
+    """Three failures then a success from the same source."""
+    return parse(
+        f"PATTERN SEQ({LOGIN_FAIL} f1, {LOGIN_FAIL} f2, {LOGIN_FAIL} f3, {LOGIN_OK} s) "
+        "WHERE f1.src == f2.src AND f2.src == f3.src AND f3.src == s.src "
+        f"WITHIN {within}",
+        name=name,
+    )
+
+
+def exfiltration_query(within: int = 500, name: str = "exfiltration") -> Pattern:
+    """Privileged read then upload with no audit record in between."""
+    return parse(
+        f"PATTERN SEQ({PRIV_READ} r, !{AUDIT} a, {UPLOAD} u) "
+        "WHERE r.src == u.src AND a.src == r.src "
+        f"WITHIN {within}",
+        name=name,
+    )
+
+
+class IntrusionTrace(NamedTuple):
+    events: List[Event]  #: occurrence order
+    brute_force_sources: Set[int]  #: ground truth attackers (brute force)
+    exfiltration_sources: Set[int]  #: ground truth attackers (exfiltration)
+
+
+class IntrusionGenerator:
+    """Benign background traffic plus injected attack signatures.
+
+    Parameters
+    ----------
+    hosts:
+        Benign source population size.
+    duration:
+        Occurrence-time horizon.
+    background_rate:
+        Expected benign events per time unit (thinned Bernoulli).
+    attackers:
+        Number of brute-force attackers and of exfiltrators (each).
+    seed:
+        Determinism.
+    """
+
+    def __init__(
+        self,
+        hosts: int = 50,
+        duration: int = 20_000,
+        background_rate: float = 0.3,
+        attackers: int = 5,
+        seed: int = 0,
+    ):
+        if hosts < 1:
+            raise ConfigurationError(f"hosts must be >= 1, got {hosts}")
+        if duration < 100:
+            raise ConfigurationError(f"duration must be >= 100, got {duration}")
+        if background_rate < 0:
+            raise ConfigurationError(f"background_rate must be >= 0, got {background_rate}")
+        if attackers < 0:
+            raise ConfigurationError(f"attackers must be >= 0, got {attackers}")
+        self.hosts = hosts
+        self.duration = duration
+        self.background_rate = background_rate
+        self.attackers = attackers
+        self.seed = seed
+
+    def generate(self) -> IntrusionTrace:
+        rng = random.Random(self.seed)
+        events: List[Event] = []
+        # Benign background: isolated failures, successful logins,
+        # audited privileged reads + uploads.
+        t = 0
+        while t < self.duration:
+            t += max(1, int(rng.expovariate(self.background_rate)))
+            src = rng.randint(1, self.hosts)
+            kind = rng.random()
+            if kind < 0.35:
+                events.append(Event(LOGIN_OK, t, {"src": src}))
+            elif kind < 0.6:
+                events.append(Event(LOGIN_FAIL, t, {"src": src}))
+            else:
+                # Compliant privileged workflow: read, audit, upload.
+                events.append(Event(PRIV_READ, t, {"src": src}))
+                audit_ts = t + rng.randint(1, 20)
+                upload_ts = audit_ts + rng.randint(1, 20)
+                events.append(Event(AUDIT, audit_ts, {"src": src}))
+                events.append(Event(UPLOAD, upload_ts, {"src": src, "bytes": rng.randint(1, 10_000)}))
+
+        brute_sources: Set[int] = set()
+        exfil_sources: Set[int] = set()
+        # Attackers get source ids above the benign population.
+        next_src = self.hosts + 1
+        for __ in range(self.attackers):
+            src = next_src
+            next_src += 1
+            start = rng.randint(1, max(1, self.duration - 200))
+            t = start
+            for __ in range(3):
+                events.append(Event(LOGIN_FAIL, t, {"src": src}))
+                t += rng.randint(5, 30)
+            events.append(Event(LOGIN_OK, t, {"src": src}))
+            brute_sources.add(src)
+        for __ in range(self.attackers):
+            src = next_src
+            next_src += 1
+            start = rng.randint(1, max(1, self.duration - 200))
+            events.append(Event(PRIV_READ, start, {"src": src}))
+            events.append(
+                Event(UPLOAD, start + rng.randint(10, 100), {"src": src, "bytes": rng.randint(100_000, 10_000_000)})
+            )
+            exfil_sources.add(src)
+
+        events.sort(key=lambda e: (e.ts, e.eid))
+        return IntrusionTrace(events, brute_sources, exfil_sources)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite; helpers live in tests/helpers.py."""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+from typing import List
+
+import pytest
+
+# Make `from helpers import ...` work from any test subdirectory.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import Event, Pattern, parse  # noqa: E402
+
+
+@pytest.fixture
+def abc_pattern() -> Pattern:
+    """SEQ(A, B, C) with a join predicate, window 20."""
+    return parse("PATTERN SEQ(A a, B b, C c) WHERE a.x == c.x WITHIN 20")
+
+
+@pytest.fixture
+def neg_pattern() -> Pattern:
+    """SEQ(A, !B, C) with join + negation predicates, window 20."""
+    return parse(
+        "PATTERN SEQ(A a, !B b, C c) WHERE a.x == c.x AND b.x == a.x WITHIN 20"
+    )
+
+
+@pytest.fixture
+def plain_seq2() -> Pattern:
+    """Predicate-free SEQ(A, B), window 10."""
+    return parse("PATTERN SEQ(A a, B b) WITHIN 10")
+
+
+@pytest.fixture
+def random_trace() -> List[Event]:
+    """300 events over {A, B, C, D} with small attribute domain."""
+    rng = random.Random(1234)
+    return [
+        Event(rng.choice("ABCD"), ts, {"x": rng.randint(0, 3)})
+        for ts in range(1, 301)
+    ]

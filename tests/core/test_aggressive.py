@@ -1,0 +1,137 @@
+"""Aggressive strategy: optimistic emit + revocation (repro.core.aggressive)."""
+
+import pytest
+
+from repro import (
+    AggressiveEngine,
+    Event,
+    OfflineOracle,
+    OutOfOrderEngine,
+    Revocation,
+    seq,
+)
+from repro.metrics import summarize_arrival_latency
+from helpers import bounded_shuffle, make_events
+
+
+class TestPositivePatterns:
+    def test_identical_to_conservative_without_negation(
+        self, abc_pattern, random_trace
+    ):
+        arrival = bounded_shuffle(random_trace, k=15, seed=1)
+        aggressive = AggressiveEngine(abc_pattern, k=15)
+        aggressive.run(arrival)
+        conservative = OutOfOrderEngine(abc_pattern, k=15)
+        conservative.run(arrival)
+        assert aggressive.result_set() == conservative.result_set()
+        assert aggressive.revocations == []
+
+    def test_zero_latency_for_positive_matches(self, plain_seq2, random_trace):
+        arrival = bounded_shuffle(random_trace, k=10, seed=2)
+        engine = AggressiveEngine(plain_seq2, k=10)
+        engine.run(arrival)
+        summary = summarize_arrival_latency(engine.emissions, arrival)
+        assert summary.max == 0.0
+
+
+class TestOptimisticNegation:
+    def test_emits_immediately_despite_unsealed_bracket(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = AggressiveEngine(pattern, k=100)
+        engine.feed(Event("A", 1))
+        emitted = engine.feed(Event("C", 5))
+        assert len(emitted) == 1  # conservative engine would hold this
+
+    def test_known_negative_blocks_immediately(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = AggressiveEngine(pattern, k=100)
+        engine.feed_many(make_events("A1 B3"))
+        assert engine.feed(Event("C", 5)) == []
+        assert engine.stats.matches_cancelled == 1
+
+    def test_late_negative_triggers_revocation(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = AggressiveEngine(pattern, k=100)
+        engine.feed_many(make_events("A1 C5"))
+        assert len(engine.results) == 1
+        engine.feed(Event("B", 3))  # late: invalidates the emitted match
+        assert len(engine.revocations) == 1
+        revocation = engine.revocations[0]
+        assert isinstance(revocation, Revocation)
+        assert revocation.caused_by.ts == 3
+        assert revocation.match.key() not in engine.net_result_set()
+
+    def test_unrelated_negative_does_not_revoke(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = AggressiveEngine(pattern, k=100)
+        engine.feed_many(make_events("A1 C5"))
+        engine.feed(Event("B", 7))  # outside bracket (1, 5)
+        assert engine.revocations == []
+
+    def test_sealed_match_cannot_be_revoked(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = AggressiveEngine(pattern, k=2)
+        engine.feed_many(make_events("A1 C5"))
+        engine.feed(Event("Z", 50))  # seals the bracket (k=2)
+        # A very late B is dropped by the K policy; exposure is gone.
+        engine.feed(Event("B", 3))
+        assert engine.revocations == []
+        assert len(engine.net_result_set()) == 1
+
+    def test_take_revocations_consumes(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = AggressiveEngine(pattern, k=100)
+        engine.feed_many(make_events("A1 C5 B3"))
+        fresh = engine.take_revocations()
+        assert len(fresh) == 1
+        assert engine.take_revocations() == []
+        assert len(engine.revocations) == 1  # cumulative log remains
+
+    def test_double_revocation_impossible(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = AggressiveEngine(pattern, k=100)
+        engine.feed_many(make_events("A1 C5 B3 B4"))
+        assert len(engine.revocations) == 1
+
+
+class TestNetResultParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_net_results_match_oracle(self, neg_pattern, random_trace, seed):
+        arrival = bounded_shuffle(random_trace, k=12, seed=seed)
+        truth = OfflineOracle(neg_pattern).evaluate_set(random_trace)
+        engine = AggressiveEngine(neg_pattern, k=12)
+        engine.run(arrival)
+        assert engine.net_result_set() == truth
+
+    def test_net_results_leading_trailing_negation(self, random_trace):
+        for pattern in (
+            seq("!B b", "A a", "C c", within=15),
+            seq("A a", "C c", "!B b", within=15),
+        ):
+            arrival = bounded_shuffle(random_trace, k=10, seed=7)
+            truth = OfflineOracle(pattern).evaluate_set(random_trace)
+            engine = AggressiveEngine(pattern, k=10)
+            engine.run(arrival)
+            assert engine.net_result_set() == truth
+
+    def test_revocations_counted_in_stats(self, neg_pattern, random_trace):
+        arrival = bounded_shuffle(random_trace, k=12, seed=3)
+        engine = AggressiveEngine(neg_pattern, k=12)
+        engine.run(arrival)
+        assert engine.stats.revocations == len(engine.revocations)
+
+
+class TestLatencyAdvantage:
+    def test_aggressive_beats_conservative_latency_on_negation(self, random_trace):
+        pattern = seq("A a", "!B b", "C c", within=15)
+        arrival = bounded_shuffle(random_trace, k=10, seed=4)
+
+        aggressive = AggressiveEngine(pattern, k=10)
+        aggressive.run(arrival)
+        conservative = OutOfOrderEngine(pattern, k=10)
+        conservative.run(arrival)
+
+        fast = summarize_arrival_latency(aggressive.emissions, arrival)
+        slow = summarize_arrival_latency(conservative.emissions, arrival)
+        assert fast.mean <= slow.mean
+        assert fast.mean == 0.0

@@ -1,0 +1,129 @@
+"""Command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.streams import load_trace
+
+
+QUERY = (
+    "PATTERN SEQ(T1 a, T2 b, T3 c) "
+    "WHERE a.part == b.part AND b.part == c.part WITHIN 50"
+)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "generate",
+            "--workload", "synthetic",
+            "--events", "800",
+            "--disorder", "0.3:20",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_loadable_trace(self, trace_file):
+        elements = load_trace(trace_file)
+        assert len(elements) == 800
+
+    def test_generate_output_mentions_disorder(self, trace_file, capsys):
+        main(["inspect", str(trace_file)])
+        out = capsys.readouterr().out
+        assert "disorder rate" in out
+        assert "800" in out
+
+    @pytest.mark.parametrize("workload", ["rfid", "intrusion", "stock"])
+    def test_other_workloads(self, tmp_path, workload, capsys):
+        path = tmp_path / f"{workload}.jsonl"
+        count = "50" if workload == "rfid" else "500"
+        code = main(
+            ["generate", "--workload", workload, "--events", count,
+             "--disorder", "none", "--out", str(path)]
+        )
+        assert code == 0
+        assert load_trace(path)
+
+    def test_burst_disorder_spec(self, tmp_path):
+        path = tmp_path / "burst.jsonl"
+        code = main(
+            ["generate", "--workload", "synthetic", "--events", "400",
+             "--disorder", "burst:0.02:30", "--out", str(path)]
+        )
+        assert code == 0
+
+
+class TestRun:
+    def test_run_with_verify_exact(self, trace_file, capsys):
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", "ooo", "--k", "20", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recall" in out and "1.0" in out
+
+    def test_run_inorder_fails_verification_on_disordered_trace(
+        self, trace_file, capsys
+    ):
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", "inorder", "--verify"]
+        )
+        assert code == 1  # recall < 1 -> non-zero exit
+
+    @pytest.mark.parametrize("engine", ["reorder", "aggressive", "partitioned"])
+    def test_all_engines_runnable(self, trace_file, engine):
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", engine, "--k", "20", "--verify"]
+        )
+        assert code == 0
+
+    def test_purge_policy_flags(self, trace_file):
+        for policy in ("eager", "lazy:64", "none"):
+            code = main(
+                ["run", "--query", QUERY, "--trace", str(trace_file),
+                 "--engine", "ooo", "--k", "20", "--purge", policy]
+            )
+            assert code == 0
+
+    def test_show_matches_zero(self, trace_file, capsys):
+        main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", "ooo", "--k", "20", "--show-matches", "0"]
+        )
+        out = capsys.readouterr().out
+        assert "Match[" not in out
+
+    def test_bad_purge_policy_reports_error(self, trace_file, capsys):
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", "ooo", "--purge", "sometimes"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_reports_error(self, trace_file, capsys):
+        code = main(
+            ["run", "--query", "SELECT * FROM events",
+             "--trace", str(trace_file)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_inspect_reports_required_k(self, trace_file, capsys):
+        code = main(["inspect", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "required K" in out
+        assert "events by type" in out

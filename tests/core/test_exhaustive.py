@@ -1,0 +1,113 @@
+"""Exhaustive conformance: every small trace × every arrival permutation.
+
+Property tests sample the space; these tests *cover* it for small
+universes — every trace over a tiny alphabet/time-domain, under every
+arrival permutation — giving airtight evidence on the exactly-once and
+sealing machinery where off-by-one bugs live.
+"""
+
+import itertools
+
+import pytest
+
+from repro import Event, OfflineOracle, OutOfOrderEngine, seq
+
+
+def all_traces(alphabet, timestamps, length):
+    """Every trace of *length* events over alphabet × timestamps."""
+    choices = list(itertools.product(alphabet, timestamps))
+    for combo in itertools.product(choices, repeat=length):
+        yield [Event(etype, ts) for etype, ts in combo]
+
+
+class TestExhaustiveTwoStep:
+    PATTERN = seq("A a", "B b", within=3, name="x2")
+
+    def test_every_trace_every_permutation(self):
+        checked = 0
+        for trace in all_traces("AB", (0, 1, 2, 4), 3):
+            truth = OfflineOracle(self.PATTERN).evaluate_set(trace)
+            for permutation in itertools.permutations(trace):
+                engine = OutOfOrderEngine(self.PATTERN, k=None)
+                engine.run(list(permutation))
+                assert engine.result_set() == truth, (trace, permutation)
+                checked += 1
+        assert checked == (2 * 4) ** 3 * 6  # 512 traces × 3! permutations
+
+    def test_bounded_k_on_sorted_arrivals(self):
+        # With events fed in ts order, k=0 must be exact for every trace.
+        for trace in all_traces("AB", (0, 1, 2, 4), 3):
+            truth = OfflineOracle(self.PATTERN).evaluate_set(trace)
+            ordered = sorted(trace, key=lambda e: (e.ts, e.eid))
+            engine = OutOfOrderEngine(self.PATTERN, k=0)
+            engine.run(ordered)
+            assert engine.result_set() == truth, trace
+
+
+class TestExhaustiveNegation:
+    PATTERN = seq("A a", "!N n", "B b", within=3, name="xneg")
+
+    def test_every_trace_every_permutation(self):
+        for trace in all_traces("ANB", (0, 1, 2), 3):
+            truth = OfflineOracle(self.PATTERN).evaluate_set(trace)
+            for permutation in itertools.permutations(trace):
+                engine = OutOfOrderEngine(self.PATTERN, k=None)
+                engine.run(list(permutation))
+                assert engine.result_set() == truth, (trace, permutation)
+
+
+class TestExhaustiveKleene:
+    PATTERN = seq("A a", "M+ ms", "B b", within=3, name="xkln")
+
+    def test_every_trace_every_permutation(self):
+        for trace in all_traces("AMB", (0, 1, 2), 3):
+            truth = OfflineOracle(self.PATTERN).evaluate_set(trace)
+            for permutation in itertools.permutations(trace):
+                engine = OutOfOrderEngine(self.PATTERN, k=None)
+                engine.run(list(permutation))
+                assert engine.result_set() == truth, (trace, permutation)
+
+
+class TestExhaustiveBoundaryK:
+    """Events delayed by exactly K sit on the is_late boundary."""
+
+    PATTERN = seq("A a", "B b", within=5, name="xk")
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_exact_k_delay_not_late(self, k):
+        # B advances the clock to t; A arrives delayed by exactly k.
+        for t in range(k, 6):
+            engine = OutOfOrderEngine(self.PATTERN, k=k)
+            engine.feed(Event("B", t))
+            late_a = Event("A", t - k)
+            assert not engine.clock.is_late(late_a)
+            emitted = engine.feed(late_a)
+            engine.close()
+            if t - k < t:  # strictly before: a genuine match
+                assert len(emitted) == 1, (t, k)
+            assert engine.stats.late_dropped == 0
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_k_plus_one_delay_is_late(self, k):
+        engine = OutOfOrderEngine(self.PATTERN, k=k)
+        engine.feed(Event("B", 10))
+        late_a = Event("A", 10 - k - 1)
+        assert engine.clock.is_late(late_a)
+        engine.feed(late_a)
+        assert engine.stats.late_dropped == 1
+
+    def test_purge_boundary_exact(self):
+        # An instance purged at the threshold must truly be unreachable:
+        # verify on the exact boundary window.
+        pattern = seq("A a", "B b", within=2, name="xpb")
+        for clock_ts in range(3, 8):
+            engine = OutOfOrderEngine(pattern, k=0)
+            engine.feed(Event("A", 1))
+            engine.feed(Event("Z", clock_ts))  # advances clock, purges
+            # B at the window edge (ts=3) — only valid if it can still arrive
+            # i.e. clock <= 3 (k=0 means ties allowed at the clock).
+            emitted = engine.feed(Event("B", 3)) if clock_ts <= 3 else []
+            engine.close()
+            truth_events = [Event("A", 1, eid=10_000), Event("Z", clock_ts, eid=10_001)]
+            if clock_ts <= 3:
+                assert len(emitted) == (1 if clock_ts <= 3 else 0)

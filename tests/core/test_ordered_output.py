@@ -1,0 +1,90 @@
+"""Ordered-output adapter (repro.core.ordered_output)."""
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    Event,
+    OfflineOracle,
+    OutOfOrderEngine,
+    PartitionedEngine,
+    seq,
+)
+from repro.core.ordered_output import OrderedOutputAdapter
+from helpers import bounded_shuffle, make_events
+
+
+class TestOrdering:
+    def test_out_of_order_detections_released_in_order(self, plain_seq2):
+        adapter = OrderedOutputAdapter(OutOfOrderEngine(plain_seq2, k=10))
+        # (A5,B6) completes before the late (A1,B2) pair does.
+        arrival = make_events("A5 B6 B2 A1") + [Event("Z", ts) for ts in (20, 40)]
+        released = adapter.run(arrival)
+        assert [m.end_ts for m in released] == sorted(m.end_ts for m in released)
+        # (A1,B2), (A1,B6), (A5,B6) — the late pair is delivered first
+        assert len(released) == 3
+        assert released[0].end_ts == 2
+
+    def test_nothing_released_before_horizon_passes_end(self, plain_seq2):
+        adapter = OrderedOutputAdapter(OutOfOrderEngine(plain_seq2, k=10))
+        released = adapter.feed_many(make_events("A1 B2"))
+        assert released == []  # end_ts=2 > horizon
+        assert adapter.held() == 1
+        released = adapter.feed(Event("Z", 50))
+        assert len(released) == 1
+
+    def test_close_drains_in_order(self, plain_seq2):
+        adapter = OrderedOutputAdapter(OutOfOrderEngine(plain_seq2, k=1000))
+        adapter.feed_many(make_events("A5 B6 A1 B2"))
+        released = adapter.close()
+        assert [m.end_ts for m in released] == sorted(m.end_ts for m in released)
+        assert adapter.held() == 0
+
+    def test_is_ordered_invariant_on_random_trace(self, abc_pattern, random_trace):
+        arrival = bounded_shuffle(random_trace, k=15, seed=2)
+        adapter = OrderedOutputAdapter(OutOfOrderEngine(abc_pattern, k=15))
+        adapter.run(arrival)
+        assert adapter.is_ordered()
+
+    def test_no_results_lost_or_invented(self, abc_pattern, random_trace):
+        arrival = bounded_shuffle(random_trace, k=15, seed=3)
+        adapter = OrderedOutputAdapter(OutOfOrderEngine(abc_pattern, k=15))
+        released = adapter.run(arrival)
+        truth = OfflineOracle(abc_pattern).evaluate_set(random_trace)
+        assert {m.key() for m in released} == truth
+        assert adapter.delivered == released
+
+    def test_ties_broken_by_start_then_identity(self, plain_seq2):
+        adapter = OrderedOutputAdapter(OutOfOrderEngine(plain_seq2, k=5))
+        adapter.feed_many(make_events("A1 A3 B4"))  # two matches end at 4
+        released = adapter.close()
+        assert [m.start_ts for m in released] == [1, 3]
+
+
+class TestComposition:
+    def test_works_with_partitioned_engine(self, random_trace):
+        pattern = seq("A a", "B b", within=15, name="po")
+        from repro import parse
+
+        keyed = parse(
+            "PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 15", name="po"
+        )
+        arrival = bounded_shuffle(random_trace, k=10, seed=4)
+        adapter = OrderedOutputAdapter(PartitionedEngine(keyed, k=10))
+        adapter.run(arrival)
+        assert adapter.is_ordered()
+        truth = OfflineOracle(keyed).evaluate_set(random_trace)
+        assert {m.key() for m in adapter.delivered} == truth
+
+    def test_negation_pattern_stays_ordered(self, neg_pattern, random_trace):
+        arrival = bounded_shuffle(random_trace, k=10, seed=5)
+        adapter = OrderedOutputAdapter(OutOfOrderEngine(neg_pattern, k=10))
+        adapter.run(arrival)
+        assert adapter.is_ordered()
+
+    def test_requires_a_clock(self, plain_seq2):
+        class NoClock:
+            pattern = plain_seq2
+
+        with pytest.raises(ConfigurationError):
+            OrderedOutputAdapter(NoClock())

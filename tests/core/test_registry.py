@@ -1,0 +1,163 @@
+"""Multi-query registry (repro.core.registry)."""
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    Event,
+    OfflineOracle,
+    OutOfOrderEngine,
+    Punctuation,
+    parse,
+    seq,
+)
+from repro.core.registry import HeartbeatDriver, QueryRegistry
+from helpers import bounded_shuffle, make_events
+
+
+def build_registry(k=10):
+    registry = QueryRegistry()
+    registry.register(OutOfOrderEngine(seq("A a", "B b", within=10, name="ab"), k=k))
+    registry.register(OutOfOrderEngine(seq("B b", "C c", within=10, name="bc"), k=k))
+    registry.register(
+        OutOfOrderEngine(seq("D d", "!E e", "F f", within=10, name="dnf"), k=k)
+    )
+    return registry
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = build_registry()
+        assert len(registry) == 3
+        assert registry.names() == ["ab", "bc", "dnf"]
+        assert registry.engine("ab").pattern.name == "ab"
+
+    def test_duplicate_name_rejected(self):
+        registry = build_registry()
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register(OutOfOrderEngine(seq("X x", within=5, name="ab")))
+
+    def test_unregister(self):
+        registry = build_registry()
+        engine = registry.unregister("ab")
+        assert engine.pattern.name == "ab"
+        assert len(registry) == 2
+        # its types no longer route to it
+        registry.feed(Event("A", 1))
+        assert engine.stats.events_in == 0
+
+    def test_unknown_names(self):
+        registry = build_registry()
+        with pytest.raises(ConfigurationError):
+            registry.engine("zzz")
+        with pytest.raises(ConfigurationError):
+            registry.unregister("zzz")
+
+
+class TestRouting:
+    def test_events_reach_only_interested_engines(self):
+        registry = build_registry()
+        registry.feed(Event("A", 1))
+        assert registry.engine("ab").stats.events_in == 1
+        assert registry.engine("bc").stats.events_in == 0
+
+    def test_shared_types_fan_out(self):
+        registry = build_registry()
+        registry.feed(Event("B", 1))
+        assert registry.engine("ab").stats.events_in == 1
+        assert registry.engine("bc").stats.events_in == 1
+
+    def test_unknown_types_skipped_entirely(self):
+        registry = build_registry()
+        registry.feed(Event("ZZZ", 1))
+        assert registry.events_skipped == 1
+        assert all(
+            registry.engine(name).stats.events_in == 0 for name in registry.names()
+        )
+
+    def test_routing_ratio(self):
+        registry = build_registry()
+        registry.feed_many(make_events("A1 ZZZ2 B3 ZZZ4"))
+        assert registry.routing_ratio() == 0.5
+
+    def test_emissions_tagged_with_query_name(self):
+        registry = build_registry()
+        emitted = registry.feed_many(make_events("A1 B2 C3"))
+        names = [name for name, __ in emitted]
+        assert names == ["ab", "bc"]
+
+    def test_punctuation_broadcast_to_all(self):
+        registry = build_registry(k=None)
+        registry.feed_many(make_events("D1 F5"))
+        assert registry.results("dnf") == []
+        emitted = registry.feed(Punctuation(20))
+        assert [name for name, __ in emitted] == ["dnf"]
+
+    def test_results_accessors(self):
+        registry = build_registry()
+        registry.run(make_events("A1 B2 C3"))
+        assert len(registry.results("ab")) == 1
+        everything = registry.results()
+        assert set(everything) == {"ab", "bc", "dnf"}
+
+    def test_close_flushes_members(self):
+        registry = build_registry(k=None)
+        registry.feed_many(make_events("D1 F5"))
+        emitted = registry.close()
+        assert len(emitted) == 1
+
+    def test_state_size_sums(self):
+        registry = build_registry(k=1000)
+        registry.feed_many(make_events("A1 B2 C3"))
+        assert registry.state_size() >= 3
+
+
+class TestCorrectnessThroughRegistry:
+    def test_each_query_matches_oracle_under_disorder(self, random_trace):
+        arrival = bounded_shuffle(random_trace, k=12, seed=3)
+        queries = [
+            parse("PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 15", name="q1"),
+            parse("PATTERN SEQ(B b, !C c, D d) WITHIN 15", name="q2"),
+            parse("PATTERN SEQ(A a, C+ cs, D d) WITHIN 20", name="q3"),
+        ]
+        registry = QueryRegistry()
+        for query in queries:
+            registry.register(OutOfOrderEngine(query, k=12))
+        registry.run(arrival)
+        for query in queries:
+            truth = OfflineOracle(query).evaluate_set(random_trace)
+            assert registry.engine(query.name).result_set() == truth, query.name
+
+    def test_registry_equals_naive_broadcast(self, random_trace):
+        arrival = bounded_shuffle(random_trace, k=12, seed=4)
+        queries = [
+            seq("A a", "B b", within=15, name="r1"),
+            seq("C c", "D d", within=15, name="r2"),
+        ]
+        registry = QueryRegistry()
+        naive = []
+        for query in queries:
+            registry.register(OutOfOrderEngine(query, k=12))
+            naive.append(OutOfOrderEngine(query, k=12))
+        registry.run(list(arrival))
+        for engine in naive:
+            engine.run(list(arrival))
+        for query, engine in zip(queries, naive):
+            assert registry.engine(query.name).result_set() == engine.result_set()
+
+
+class TestHeartbeatDriver:
+    def test_heartbeats_seal_unbounded_engines(self):
+        registry = build_registry(k=None)
+        driver = HeartbeatDriver(registry, interval=2, slack=0)
+        emitted = driver.feed_many(
+            make_events("D1 F5") + [Event("ZZZ", ts) for ts in range(6, 30)]
+        )
+        assert any(name == "dnf" for name, __ in emitted)
+
+    def test_validation(self):
+        registry = build_registry()
+        with pytest.raises(ConfigurationError):
+            HeartbeatDriver(registry, interval=0)
+        with pytest.raises(ConfigurationError):
+            HeartbeatDriver(registry, slack=-1)

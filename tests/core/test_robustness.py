@@ -1,0 +1,203 @@
+"""Robustness and failure injection: abuse the engines, observe the contract.
+
+Production streams are hostile: schema drift, pathological timestamps,
+degenerate queries, adversarial arrival orders.  These tests pin what
+the library *guarantees* under abuse — clean errors where the input is
+a bug, graceful handling where it is a data condition, and no silent
+state corruption either way.
+"""
+
+import pytest
+
+from repro import (
+    Event,
+    InOrderEngine,
+    OfflineOracle,
+    OutOfOrderEngine,
+    PartitionedEngine,
+    PurgePolicy,
+    ReorderingEngine,
+    StreamError,
+    parse,
+    seq,
+)
+from helpers import bounded_shuffle, make_events
+
+
+class TestSchemaDrift:
+    """Events missing the attributes the query reads."""
+
+    def test_missing_attr_in_join_predicate_raises(self, plain_seq2):
+        pattern = parse("PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 10")
+        engine = OutOfOrderEngine(pattern, k=0)
+        engine.feed(Event("A", 1, {"x": 1}))
+        with pytest.raises(KeyError):
+            engine.feed(Event("B", 2))  # schema bug: surfaced, not swallowed
+
+    def test_engine_usable_after_predicate_error(self):
+        pattern = parse("PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 10")
+        engine = OutOfOrderEngine(pattern, k=0)
+        engine.feed(Event("A", 1, {"x": 1}))
+        with pytest.raises(KeyError):
+            engine.feed(Event("B", 2))
+        # The bad event was inserted before evaluation failed, but the
+        # engine keeps processing subsequent events correctly.
+        emitted = engine.feed(Event("B", 3, {"x": 1}))
+        assert len(emitted) == 1
+
+    def test_wrong_attr_type_is_a_data_condition_not_an_error(self):
+        pattern = parse("PATTERN SEQ(A a, B b) WHERE a.x < b.x WITHIN 10")
+        engine = OutOfOrderEngine(pattern, k=0)
+        engine.feed(Event("A", 1, {"x": "not a number"}))
+        emitted = engine.feed(Event("B", 2, {"x": 5}))
+        assert emitted == []  # comparison across types never matches
+
+    def test_partitioned_ignores_events_missing_the_key(self):
+        pattern = parse("PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 10")
+        engine = PartitionedEngine(pattern, k=0)
+        engine.feed(Event("A", 1))  # no "x"
+        engine.feed(Event("A", 2, {"x": 1}))
+        assert engine.stats.events_ignored == 1
+        assert engine.partition_count() == 1
+
+
+class TestPathologicalTimestamps:
+    def test_huge_timestamps(self, plain_seq2):
+        engine = OutOfOrderEngine(plain_seq2, k=5)
+        big = 10**15
+        engine.feed(Event("A", big))
+        emitted = engine.feed(Event("B", big + 1))
+        assert len(emitted) == 1
+
+    def test_huge_jump_purges_everything(self, plain_seq2):
+        engine = OutOfOrderEngine(plain_seq2, k=5)
+        engine.feed(Event("A", 1))
+        engine.feed(Event("Z", 10**12))
+        assert engine.state_size() == 0
+
+    def test_all_events_at_same_timestamp(self, plain_seq2):
+        events = [Event("A", 5) for __ in range(20)] + [Event("B", 5) for __ in range(20)]
+        engine = OutOfOrderEngine(plain_seq2, k=0)
+        engine.run(events)
+        assert engine.results == []  # ties never satisfy strict order
+        assert engine.stats.late_dropped == 0  # ties are not late either
+
+    def test_timestamp_zero_boundary(self, plain_seq2):
+        engine = OutOfOrderEngine(plain_seq2, k=0)
+        engine.feed(Event("A", 0))
+        emitted = engine.feed(Event("B", 1))
+        assert len(emitted) == 1
+
+    def test_float_timestamp_rejected_at_construction(self):
+        with pytest.raises(StreamError):
+            Event("A", 1.5)
+
+
+class TestDegenerateQueries:
+    def test_window_of_one(self):
+        pattern = seq("A a", "B b", within=1)
+        engine = OutOfOrderEngine(pattern, k=0)
+        engine.run(make_events("A1 B2 A3 B5"))
+        assert len(engine.results) == 1  # only (A1,B2) fits a 1-wide window
+
+    def test_single_type_alphabet_self_join(self):
+        pattern = seq("A first", "A second", "A third", within=10)
+        events = [Event("A", ts) for ts in range(1, 8)]
+        truth = OfflineOracle(pattern).evaluate_set(events)
+        engine = OutOfOrderEngine(pattern, k=0)
+        engine.run(events)
+        assert engine.result_set() == truth
+        assert len(truth) == 35  # C(7,3)
+
+    def test_very_long_pattern(self):
+        steps = [f"T{i} v{i}" for i in range(10)]
+        pattern = seq(*steps, within=100)
+        events = [Event(f"T{i}", i + 1) for i in range(10)]
+        engine = OutOfOrderEngine(pattern, k=0)
+        engine.run(events)
+        assert len(engine.results) == 1
+
+    def test_negation_only_bracket_without_candidates(self):
+        pattern = seq("A a", "!B b", "C c", within=10)
+        engine = OutOfOrderEngine(pattern, k=0)
+        engine.run(make_events("A1 C5 Z99"))
+        assert len(engine.results) == 1  # no B anywhere: bracket clear
+
+
+class TestAdversarialArrival:
+    def test_fully_reversed_arrival(self, abc_pattern, random_trace):
+        arrival = sorted(random_trace, key=lambda e: -e.ts)
+        truth = OfflineOracle(abc_pattern).evaluate_set(random_trace)
+        engine = OutOfOrderEngine(abc_pattern, k=None)
+        engine.run(arrival)
+        assert engine.result_set() == truth
+
+    def test_interleaved_extremes(self, plain_seq2):
+        # Alternate very old / very new events under unbounded K.
+        events = []
+        for i in range(50):
+            events.append(Event("A", i))
+            events.append(Event("B", 1000 - i))
+        engine = OutOfOrderEngine(plain_seq2, k=None)
+        engine.run(events)
+        truth = OfflineOracle(plain_seq2).evaluate_set(events)
+        assert engine.result_set() == truth
+
+    def test_duplicate_eids_from_replay_do_not_double_count(self, plain_seq2):
+        # Feeding the same event object twice is two distinct occurrences
+        # only if eids differ; identical eids model accidental replay.
+        a = Event("A", 1, eid=777)
+        b = Event("B", 2, eid=778)
+        engine = OutOfOrderEngine(plain_seq2, k=None)
+        engine.feed(a)
+        engine.feed(a)  # accidental duplicate delivery
+        engine.feed(b)
+        engine.close()
+        # both copies join (the engine is at-least-once w.r.t. transport
+        # duplicates), but identity-keyed consumers dedupe to one:
+        assert len(engine.result_set()) == 1
+
+    def test_burst_of_late_events_all_dropped_cleanly(self, plain_seq2):
+        engine = OutOfOrderEngine(plain_seq2, k=2)
+        engine.feed(Event("Z", 1000))
+        for ts in range(100):
+            engine.feed(Event("A", ts))
+        assert engine.stats.late_dropped == 100
+        assert engine.state_size() == 0
+
+
+class TestCrossEngineContractUnderAbuse:
+    """All correct engines agree even on hostile input."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_on_tie_heavy_disordered_traces(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        pattern = parse(
+            "PATTERN SEQ(A a, !B b, C c) WHERE a.x == c.x AND b.x == a.x WITHIN 8"
+        )
+        # Heavy timestamp ties + tiny window + disorder.
+        events = [
+            Event(rng.choice("ABC"), rng.randint(0, 15), {"x": rng.randint(0, 1)})
+            for __ in range(120)
+        ]
+        arrival = bounded_shuffle(events, k=10, seed=seed)
+        truth = OfflineOracle(pattern).evaluate_set(events)
+        for engine in (
+            OutOfOrderEngine(pattern, k=10),
+            ReorderingEngine(pattern, k=10),
+            PartitionedEngine(pattern, k=10),
+        ):
+            engine.run(list(arrival))
+            assert engine.result_set() == truth, type(engine).__name__
+
+    def test_inorder_engine_never_crashes_on_abuse(self, random_trace):
+        import random
+
+        arrival = random_trace[:]
+        random.Random(1).shuffle(arrival)  # unbounded disorder
+        pattern = seq("A a", "!B b", "C c", "!D d", "A a2", within=25)
+        engine = InOrderEngine(pattern, purge=PurgePolicy.lazy(7))
+        engine.run(arrival)  # wrong results expected; crashes not
+        assert engine.stats.events_in == len(arrival)

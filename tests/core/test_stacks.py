@@ -1,0 +1,198 @@
+"""Unit tests for Active Instance Stacks (repro.core.stacks)."""
+
+import random
+
+import pytest
+
+from repro import Event
+from repro.core.stacks import Instance, NegativeStore, SortedStack, StackSet
+
+
+def inst(ts: int, arrival: int = 0, etype: str = "A") -> Instance:
+    return Instance(Event(etype, ts), arrival)
+
+
+class TestSortedStackInsertion:
+    def test_in_order_appends(self):
+        stack = SortedStack(0)
+        for ts in (1, 3, 5):
+            stack.insert(inst(ts))
+        assert [i.ts for i in stack] == [1, 3, 5]
+
+    def test_out_of_order_splices_into_position(self):
+        stack = SortedStack(0)
+        stack.insert(inst(1))
+        stack.insert(inst(5))
+        stack.insert(inst(3))  # late
+        assert [i.ts for i in stack] == [1, 3, 5]
+
+    def test_insert_returns_index(self):
+        stack = SortedStack(0)
+        assert stack.insert(inst(5)) == 0
+        assert stack.insert(inst(1)) == 0
+        assert stack.insert(inst(9)) == 2
+
+    def test_ties_ordered_by_eid(self):
+        stack = SortedStack(0)
+        first = inst(5)
+        second = inst(5)
+        stack.insert(second)
+        stack.insert(first)
+        assert [i.event.eid for i in stack] == sorted(i.event.eid for i in stack)
+
+    def test_stays_sorted_under_random_insertion(self):
+        rng = random.Random(7)
+        stack = SortedStack(0)
+        timestamps = [rng.randint(0, 100) for _ in range(200)]
+        for ts in timestamps:
+            stack.insert(inst(ts))
+        observed = [i.ts for i in stack]
+        assert observed == sorted(observed)
+        assert stack.inserted == 200
+
+
+class TestSortedStackQueries:
+    @pytest.fixture
+    def stack(self):
+        s = SortedStack(0)
+        for ts in (2, 4, 6, 8, 10):
+            s.insert(inst(ts))
+        return s
+
+    def test_range_before_exclusive(self, stack):
+        assert [i.ts for i in stack.range_before(6)] == [2, 4]
+
+    def test_range_before_with_min(self, stack):
+        assert [i.ts for i in stack.range_before(9, min_ts=4)] == [4, 6, 8]
+
+    def test_range_after_exclusive(self, stack):
+        assert [i.ts for i in stack.range_after(6)] == [8, 10]
+
+    def test_range_after_with_max_inclusive(self, stack):
+        assert [i.ts for i in stack.range_after(2, max_ts=8)] == [4, 6, 8]
+
+    def test_has_before_after(self, stack):
+        assert stack.has_before(3)
+        assert not stack.has_before(2)
+        assert stack.has_after(8)
+        assert not stack.has_after(10)
+
+    def test_has_in_range_inclusive(self, stack):
+        assert stack.has_in_range(4, 4)
+        assert stack.has_in_range(5, 7)
+        assert not stack.has_in_range(11, 20)
+        assert not stack.has_in_range(3, 3)
+
+    def test_min_max_ts(self, stack):
+        assert stack.min_ts() == 2
+        assert stack.max_ts() == 10
+
+    def test_empty_stack_queries(self):
+        stack = SortedStack(0)
+        assert stack.min_ts() is None
+        assert stack.max_ts() is None
+        assert not stack.has_before(100)
+        assert not stack.has_after(0)
+        assert not stack.has_in_range(0, 100)
+        assert stack.range_before(10) == []
+        assert stack.range_after(0) == []
+
+
+class TestSortedStackPurge:
+    def test_purge_through_removes_prefix(self):
+        stack = SortedStack(0)
+        for ts in (2, 4, 6, 8):
+            stack.insert(inst(ts))
+        removed = stack.purge_through(5)
+        assert removed == 2
+        assert [i.ts for i in stack] == [6, 8]
+        assert stack.purged == 2
+
+    def test_purge_inclusive_boundary(self):
+        stack = SortedStack(0)
+        for ts in (2, 4, 6):
+            stack.insert(inst(ts))
+        assert stack.purge_through(4) == 2
+        assert [i.ts for i in stack] == [6]
+
+    def test_purge_nothing(self):
+        stack = SortedStack(0)
+        stack.insert(inst(5))
+        assert stack.purge_through(4) == 0
+        assert len(stack) == 1
+
+    def test_purge_after_ooo_insertion_still_prefix(self):
+        stack = SortedStack(0)
+        for ts in (10, 2, 8, 4, 6):
+            stack.insert(inst(ts))
+        stack.purge_through(6)
+        assert [i.ts for i in stack] == [8, 10]
+
+    def test_clear(self):
+        stack = SortedStack(0)
+        for ts in (1, 2, 3):
+            stack.insert(inst(ts))
+        stack.clear()
+        assert len(stack) == 0
+        assert stack.purged == 3
+
+
+class TestStackSet:
+    def test_sizes_and_total(self):
+        stacks = StackSet(3)
+        stacks[0].insert(inst(1))
+        stacks[0].insert(inst(2))
+        stacks[2].insert(inst(3))
+        assert stacks.sizes() == [2, 0, 1]
+        assert stacks.size() == 3
+        assert len(stacks) == 3
+
+    def test_total_purged(self):
+        stacks = StackSet(2)
+        stacks[0].insert(inst(1))
+        stacks[1].insert(inst(2))
+        stacks[0].purge_through(1)
+        assert stacks.total_purged() == 1
+
+    def test_iteration(self):
+        stacks = StackSet(2)
+        assert [s.step_index for s in stacks] == [0, 1]
+
+
+class TestNegativeStore:
+    def test_relevance(self):
+        store = NegativeStore(["B"])
+        assert store.relevant("B")
+        assert not store.relevant("A")
+
+    def test_between_exclusive_bounds(self):
+        store = NegativeStore(["B"])
+        for ts in (2, 4, 6, 8):
+            store.insert(Event("B", ts))
+        assert [e.ts for e in store.between("B", 2, 8)] == [4, 6]
+
+    def test_between_unknown_type(self):
+        store = NegativeStore(["B"])
+        assert store.between("Z", 0, 10) == []
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        store = NegativeStore(["B"])
+        for ts in (8, 2, 6, 4):
+            store.insert(Event("B", ts))
+        assert [e.ts for e in store.between("B", 0, 100)] == [2, 4, 6, 8]
+
+    def test_purge_through(self):
+        store = NegativeStore(["B", "C"])
+        store.insert(Event("B", 2))
+        store.insert(Event("B", 9))
+        store.insert(Event("C", 4))
+        removed = store.purge_through(5)
+        assert removed == 2
+        assert store.size() == 1
+        assert store.purged == 2
+
+    def test_insert_counts(self):
+        store = NegativeStore(["B"])
+        store.insert(Event("B", 1))
+        store.insert(Event("B", 2))
+        assert store.inserted == 2

@@ -1,0 +1,61 @@
+"""Shared test helpers (importable from every test module).
+
+``tests/conftest.py`` puts this directory on ``sys.path``, so tests do
+``from helpers import make_events`` regardless of their subdirectory.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro import Event, OfflineOracle, OutOfOrderEngine, Pattern
+
+
+def make_events(spec: str, attr: str = "x") -> List[Event]:
+    """Compact trace literal: ``"A1:0 B3:1 C5:0"`` → events.
+
+    Each token is ``TYPE<ts>`` optionally followed by ``:<attr value>``
+    (integer).  Types are words, timestamps integers.
+    """
+    events = []
+    for token in spec.split():
+        if ":" in token:
+            head, value = token.split(":")
+            attrs = {attr: int(value)}
+        else:
+            head, attrs = token, {}
+        index = 0
+        while index < len(head) and not head[index].isdigit():
+            index += 1
+        events.append(Event(head[:index], int(head[index:]), attrs))
+    return events
+
+
+def engine_vs_oracle(
+    pattern: Pattern,
+    arrival: List[Event],
+    k: Optional[int] = None,
+    **engine_kwargs,
+) -> OutOfOrderEngine:
+    """Run the OOO engine on *arrival* and assert it matches the oracle."""
+    truth = OfflineOracle(pattern).evaluate_set(arrival)
+    engine = OutOfOrderEngine(pattern, k=k, **engine_kwargs)
+    engine.run(arrival)
+    assert engine.result_set() == truth, (
+        f"engine {sorted(engine.result_set())} != oracle {sorted(truth)}"
+    )
+    return engine
+
+
+def bounded_shuffle(events: List[Event], k: int, seed: int = 0) -> List[Event]:
+    """An arrival permutation guaranteed to respect disorder bound *k*.
+
+    Sorts by ``ts + uniform(0, k)``: an event's delay past the max-ts
+    prefix is at most k, so an engine with bound k never sees a late
+    event.
+    """
+    rng = random.Random(seed)
+    keyed = [(e.ts + rng.randint(0, k), i, e) for i, e in enumerate(events)]
+    keyed.sort()
+    return [e for __, __, e in keyed]

@@ -1,0 +1,186 @@
+"""Integration tests: full pipelines from generator through netsim to engines.
+
+These exercise the exact paths the benchmarks and examples use, pinning
+the cross-module contracts: workload → network simulation → disorder →
+engine → metrics → quality-vs-oracle.
+"""
+
+import pytest
+
+from repro import (
+    AggressiveEngine,
+    CompositeEventFactory,
+    InOrderEngine,
+    OfflineOracle,
+    OutOfOrderEngine,
+    QueryPlan,
+    ReorderingEngine,
+)
+from repro.bench import make_engine, oracle_truth, run_cell
+from repro.metrics import compare_keys, summarize_arrival_latency
+from repro.netsim import FailureSchedule, UniformLatency, simulate_star
+from repro.streams import RandomDelayModel, dump_trace, load_trace
+from repro.workloads import (
+    IntrusionGenerator,
+    RfidStoreGenerator,
+    SyntheticWorkload,
+    brute_force_query,
+    detected_tags,
+    exfiltration_query,
+    shoplifting_query,
+)
+
+
+class TestRfidPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        trace = RfidStoreGenerator(items=250, shoplift_rate=0.08, seed=31).generate()
+        simulated = simulate_star(
+            trace.by_reader, lambda i: UniformLatency(0, 120), seed=32
+        )
+        return trace, simulated
+
+    def test_ooo_engine_detects_all_shoplifting_under_network_disorder(self, setup):
+        trace, simulated = setup
+        query = shoplifting_query(2000)
+        engine = OutOfOrderEngine(query, k=simulated.observed_disorder_bound())
+        engine.run(simulated.arrival_order)
+        assert detected_tags(engine.results) == trace.shoplifted_tags
+
+    def test_inorder_engine_misbehaves_on_same_input(self, setup):
+        trace, simulated = setup
+        query = shoplifting_query(2000)
+        truth = OfflineOracle(query).evaluate_set(trace.merged)
+        engine = InOrderEngine(query)
+        engine.run(simulated.arrival_order)
+        report = compare_keys(truth, engine.result_set())
+        assert not report.exact  # misses and/or false alarms
+
+    def test_reorder_engine_correct_but_slower_to_answer(self, setup):
+        trace, simulated = setup
+        query = shoplifting_query(2000)
+        k = simulated.observed_disorder_bound()
+        reorder = ReorderingEngine(query, k=k)
+        reorder.run(simulated.arrival_order)
+        assert detected_tags(reorder.results) == trace.shoplifted_tags
+        ooo = OutOfOrderEngine(query, k=k)
+        ooo.run(simulated.arrival_order)
+        slow = summarize_arrival_latency(reorder.emissions, simulated.arrival_order)
+        fast = summarize_arrival_latency(ooo.emissions, simulated.arrival_order)
+        assert fast.mean <= slow.mean
+
+    def test_alert_plan_produces_composite_alarms(self, setup):
+        trace, simulated = setup
+        query = shoplifting_query(2000)
+        plan = QueryPlan(
+            OutOfOrderEngine(query, k=simulated.observed_disorder_bound()),
+            transformation=CompositeEventFactory(
+                "SHOPLIFT_ALERT", {"tag": "s.tag", "exit_ts": "e.ts"}
+            ),
+        )
+        alerts = plan.run(simulated.arrival_order)
+        assert {a["tag"] for a in alerts} == trace.shoplifted_tags
+        assert all(a.etype == "SHOPLIFT_ALERT" for a in alerts)
+
+
+class TestIntrusionPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        trace = IntrusionGenerator(hosts=25, duration=8000, attackers=3, seed=41).generate()
+        arrival = RandomDelayModel(0.3, 60, seed=42).apply(trace.events)
+        return trace, arrival
+
+    def test_brute_force_detection_under_disorder(self, setup):
+        trace, arrival = setup
+        query = brute_force_query(300)
+        engine = OutOfOrderEngine(query, k=60)
+        engine.run(arrival)
+        detected = {m.events[0]["src"] for m in engine.results}
+        assert trace.brute_force_sources <= detected
+        truth = OfflineOracle(query).evaluate_set(trace.events)
+        assert engine.result_set() == truth
+
+    def test_exfiltration_negation_under_disorder(self, setup):
+        trace, arrival = setup
+        query = exfiltration_query(500)
+        engine = OutOfOrderEngine(query, k=60)
+        engine.run(arrival)
+        truth = OfflineOracle(query).evaluate_set(trace.events)
+        assert engine.result_set() == truth
+        detected = {m.events[0]["src"] for m in engine.results}
+        assert trace.exfiltration_sources <= detected
+
+    def test_aggressive_alerts_faster_with_net_parity(self, setup):
+        trace, arrival = setup
+        query = exfiltration_query(500)
+        aggressive = AggressiveEngine(query, k=60)
+        aggressive.run(arrival)
+        truth = OfflineOracle(query).evaluate_set(trace.events)
+        assert aggressive.net_result_set() == truth
+
+
+class TestFailureBurstPipeline:
+    def test_recovery_burst_handled(self):
+        trace = RfidStoreGenerator(items=150, seed=51, arrival_span=20_000).generate()
+        failures = FailureSchedule()
+        failures.add_outage("COUNTER_READ", 5_000, 9_000)  # counter node down
+        simulated = simulate_star(
+            trace.by_reader, lambda i: UniformLatency(0, 10), failures=failures, seed=52
+        )
+        query = shoplifting_query(2000)
+        k = simulated.observed_disorder_bound()
+        assert k >= 3000  # the outage dominates disorder
+        engine = OutOfOrderEngine(query, k=k)
+        engine.run(simulated.arrival_order)
+        assert detected_tags(engine.results) == trace.shoplifted_tags
+
+
+class TestBenchRunnerHarness:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return SyntheticWorkload(
+            event_count=1500, disorder=RandomDelayModel(0.25, 30, seed=61), seed=62
+        )
+
+    def test_run_cell_reports_quality_and_latency(self, workload):
+        ordered, arrival = workload.generate()
+        truth = oracle_truth(workload.query, ordered)
+        cell = run_cell(make_engine("ooo", workload.query, k=30), arrival, truth)
+        assert cell["recall"] == 1.0
+        assert cell["precision"] == 1.0
+        assert cell["events"] == 1500
+        assert cell["seconds"] > 0
+
+    def test_engine_registry_covers_all_strategies(self, workload):
+        ordered, arrival = workload.generate()
+        truth = oracle_truth(workload.query, ordered)
+        recalls = {}
+        for name in ("ooo", "inorder", "reorder", "aggressive"):
+            cell = run_cell(make_engine(name, workload.query, k=30), arrival, truth)
+            recalls[name] = cell["recall"]
+        assert recalls["ooo"] == recalls["reorder"] == recalls["aggressive"] == 1.0
+        assert recalls["inorder"] < 1.0
+
+    def test_unknown_engine_name_rejected(self, workload):
+        from repro import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_engine("nope", workload.query)
+        with pytest.raises(ConfigurationError):
+            make_engine("reorder", workload.query, k=None)
+
+
+class TestTraceReplayRegression:
+    def test_recorded_pipeline_is_replayable(self, tmp_path):
+        workload = SyntheticWorkload(
+            event_count=400, disorder=RandomDelayModel(0.3, 20, seed=71), seed=72
+        )
+        __, arrival = workload.generate()
+        path = tmp_path / "arrival.jsonl"
+        dump_trace(arrival, path)
+        first = OutOfOrderEngine(workload.query, k=20)
+        first.run(arrival)
+        second = OutOfOrderEngine(workload.query, k=20)
+        second.run(load_trace(path))
+        assert first.result_set() == second.result_set()
+        assert first.stats.as_dict() == second.stats.as_dict()

@@ -1,0 +1,95 @@
+"""Integration: multi-query registry over simulated deployments + CLI."""
+
+import pytest
+
+from repro import OfflineOracle, OutOfOrderEngine, PartitionedEngine, QueryRegistry
+from repro.cli import main as cli_main
+from repro.netsim import UniformLatency, simulate_star
+from repro.streams import dump_trace
+from repro.workloads import (
+    RfidStoreGenerator,
+    detected_tags,
+    restock_query,
+    shoplifting_query,
+)
+
+
+class TestRegistryOverNetsim:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        trace = RfidStoreGenerator(items=200, shoplift_rate=0.08, seed=91).generate()
+        simulated = simulate_star(
+            trace.by_reader, lambda i: UniformLatency(0, 120), seed=92
+        )
+        return trace, simulated
+
+    def test_two_store_queries_one_stream(self, deployment):
+        trace, simulated = deployment
+        k = simulated.observed_disorder_bound()
+        shoplift = shoplifting_query(2000, name="shoplift")
+        restock = restock_query(2000, name="restock")
+        registry = QueryRegistry()
+        registry.register(OutOfOrderEngine(shoplift, k=k))
+        registry.register(PartitionedEngine(restock, k=k))
+        registry.run(simulated.arrival_order)
+
+        assert (
+            detected_tags(registry.results("shoplift")) == trace.shoplifted_tags
+        )
+        restock_truth = OfflineOracle(restock).evaluate_set(trace.merged)
+        assert registry.engine("restock").result_set() == restock_truth
+
+    def test_routing_skips_nothing_relevant(self, deployment):
+        trace, simulated = deployment
+        registry = QueryRegistry()
+        registry.register(
+            OutOfOrderEngine(shoplifting_query(2000, name="s"), k=5000)
+        )
+        registry.run(simulated.arrival_order)
+        # every reader type is relevant to the shoplifting pattern
+        assert registry.events_skipped == 0
+        assert registry.routing_ratio() == 1.0
+
+
+class TestCliOverWorkloadTrace:
+    def test_rfid_trace_verified_through_cli(self, tmp_path):
+        trace = RfidStoreGenerator(items=120, shoplift_rate=0.1, seed=93).generate()
+        simulated = simulate_star(
+            trace.by_reader, lambda i: UniformLatency(0, 60), seed=94
+        )
+        path = tmp_path / "store.jsonl"
+        dump_trace(simulated.arrival_order, path)
+        k = simulated.observed_disorder_bound()
+        code = cli_main(
+            [
+                "run",
+                "--query",
+                "PATTERN SEQ(SHELF_READ s, !COUNTER_READ c, EXIT_READ e) "
+                "WHERE s.tag == e.tag AND c.tag == s.tag WITHIN 2000",
+                "--trace", str(path),
+                "--engine", "partitioned",
+                "--k", str(k),
+                "--verify",
+            ]
+        )
+        assert code == 0
+
+    def test_inorder_engine_fails_verification_on_same_trace(self, tmp_path, capsys):
+        trace = RfidStoreGenerator(items=120, shoplift_rate=0.1, seed=93).generate()
+        simulated = simulate_star(
+            trace.by_reader, lambda i: UniformLatency(0, 60), seed=94
+        )
+        path = tmp_path / "store.jsonl"
+        dump_trace(simulated.arrival_order, path)
+        code = cli_main(
+            [
+                "run",
+                "--query",
+                "PATTERN SEQ(SHELF_READ s, !COUNTER_READ c, EXIT_READ e) "
+                "WHERE s.tag == e.tag AND c.tag == s.tag WITHIN 2000",
+                "--trace", str(path),
+                "--engine", "inorder",
+                "--verify",
+            ]
+        )
+        assert code == 1  # breaks on the disordered trace, and says so

@@ -1,0 +1,84 @@
+"""Failure schedules (repro.netsim.failure)."""
+
+import pytest
+
+from repro import ConfigurationError
+from repro.netsim import FailureSchedule
+
+
+class TestOutages:
+    def test_available_outside_outage(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("n", 10, 20)
+        assert schedule.available_at("n", 5) == 5
+        assert schedule.available_at("n", 20) == 20
+
+    def test_held_until_recovery_inside_outage(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("n", 10, 20)
+        assert schedule.available_at("n", 10) == 20
+        assert schedule.available_at("n", 15) == 20
+        assert schedule.available_at("n", 19) == 20
+
+    def test_is_down(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("n", 10, 20)
+        assert schedule.is_down("n", 12)
+        assert not schedule.is_down("n", 9)
+
+    def test_unknown_node_always_up(self):
+        assert FailureSchedule().available_at("x", 7) == 7
+
+    def test_multiple_outages_binary_search(self):
+        schedule = FailureSchedule()
+        for start in range(0, 100, 20):
+            schedule.add_outage("n", start, start + 5)
+        assert schedule.available_at("n", 41) == 45
+        assert schedule.available_at("n", 46) == 46
+
+    def test_empty_outage_rejected(self):
+        schedule = FailureSchedule()
+        with pytest.raises(ConfigurationError):
+            schedule.add_outage("n", 10, 10)
+
+    def test_overlapping_outage_rejected(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("n", 10, 20)
+        with pytest.raises(ConfigurationError):
+            schedule.add_outage("n", 15, 25)
+
+    def test_adjacent_outages_allowed(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("n", 10, 20)
+        schedule.add_outage("n", 20, 30)
+        assert schedule.available_at("n", 15) == 20  # not merged (held per interval)
+
+    def test_outages_listing(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("n", 30, 40)
+        schedule.add_outage("n", 10, 20)
+        assert schedule.outages("n") == [(10, 20), (30, 40)]
+        assert schedule.outages("other") == []
+
+
+class TestRandomOutages:
+    def test_deterministic(self):
+        first = FailureSchedule.random_outages(["a", "b"], 1000, 0.01, 20, seed=5)
+        second = FailureSchedule.random_outages(["a", "b"], 1000, 0.01, 20, seed=5)
+        assert first.outages("a") == second.outages("a")
+
+    def test_bounded_by_horizon(self):
+        schedule = FailureSchedule.random_outages(["a"], 500, 0.05, 30, seed=1)
+        for start, end in schedule.outages("a"):
+            assert 0 <= start < 500
+            assert end <= 500
+
+    def test_zero_rate_no_outages(self):
+        schedule = FailureSchedule.random_outages(["a"], 500, 0.0, 30, seed=1)
+        assert schedule.outages("a") == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule.random_outages(["a"], 100, 1.5, 10)
+        with pytest.raises(ConfigurationError):
+            FailureSchedule.random_outages(["a"], 100, 0.1, 0)

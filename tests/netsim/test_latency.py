@@ -1,0 +1,117 @@
+"""Latency distributions (repro.netsim.latency)."""
+
+import random
+
+import pytest
+
+from repro import ConfigurationError
+from repro.netsim import (
+    ConstantLatency,
+    ExponentialLatency,
+    GaussianLatency,
+    ParetoLatency,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestConstantLatency:
+    def test_always_same(self, rng):
+        model = ConstantLatency(7)
+        assert all(model.sample(rng) == 7 for __ in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-1)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(3, 9)
+        samples = [model.sample(rng) for __ in range(500)]
+        assert min(samples) >= 3 and max(samples) <= 9
+        assert len(set(samples)) > 3  # actually varies
+
+    def test_degenerate_range(self, rng):
+        assert UniformLatency(5, 5).sample(rng) == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(-1, 5)
+        with pytest.raises(ConfigurationError):
+            UniformLatency(5, 3)
+
+
+class TestExponentialLatency:
+    def test_non_negative_and_mean_scale(self, rng):
+        model = ExponentialLatency(mean=20.0)
+        samples = [model.sample(rng) for __ in range(3000)]
+        assert all(s >= 0 for s in samples)
+        average = sum(samples) / len(samples)
+        assert 15 < average < 25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialLatency(0)
+
+
+class TestParetoLatency:
+    def test_min_scale_and_cap(self, rng):
+        model = ParetoLatency(scale=2, alpha=1.2, cap=50)
+        samples = [model.sample(rng) for __ in range(2000)]
+        assert min(samples) >= 2
+        assert max(samples) <= 50
+
+    def test_heavy_tail_vs_uniform(self, rng):
+        pareto = ParetoLatency(scale=1, alpha=1.1, cap=100000)
+        samples = sorted(pareto.sample(rng) for __ in range(5000))
+        p50 = samples[len(samples) // 2]
+        p999 = samples[int(len(samples) * 0.999)]
+        assert p999 > 20 * p50  # tail dwarfs the median
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParetoLatency(scale=-1)
+        with pytest.raises(ConfigurationError):
+            ParetoLatency(alpha=0)
+        with pytest.raises(ConfigurationError):
+            ParetoLatency(scale=10, cap=5)
+
+
+class TestGaussianLatency:
+    def test_clipped_at_zero(self, rng):
+        model = GaussianLatency(mean=1, stddev=10)
+        samples = [model.sample(rng) for __ in range(1000)]
+        assert all(s >= 0 for s in samples)
+
+    def test_centred_near_mean(self, rng):
+        model = GaussianLatency(mean=50, stddev=5)
+        samples = [model.sample(rng) for __ in range(2000)]
+        average = sum(samples) / len(samples)
+        assert 45 < average < 55
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianLatency(-1, 5)
+        with pytest.raises(ConfigurationError):
+            GaussianLatency(1, -5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UniformLatency(0, 100),
+            lambda: ExponentialLatency(10),
+            lambda: ParetoLatency(1, 1.5),
+            lambda: GaussianLatency(10, 3),
+        ],
+    )
+    def test_same_seed_same_samples(self, factory):
+        first = [factory().sample(random.Random(7)) for __ in range(1)]
+        second = [factory().sample(random.Random(7)) for __ in range(1)]
+        assert first == second

@@ -1,0 +1,92 @@
+"""Topology and routing (repro.netsim.topology)."""
+
+import pytest
+
+from repro import ConfigurationError
+from repro.netsim import ConstantLatency, Topology
+
+
+class TestConstruction:
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(["a", "a"])
+
+    def test_add_link(self):
+        topo = Topology(["a", "b"])
+        link = topo.add_link("a", "b", ConstantLatency(1))
+        assert topo.link("a", "b") is link
+
+    def test_self_loop_rejected(self):
+        topo = Topology(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "a", ConstantLatency(1))
+
+    def test_unknown_node_rejected(self):
+        topo = Topology(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "zz", ConstantLatency(1))
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology(["a", "b"])
+        topo.add_link("a", "b", ConstantLatency(1))
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "b", ConstantLatency(2))
+
+    def test_missing_link_lookup(self):
+        topo = Topology(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            topo.link("a", "b")
+
+
+class TestRouting:
+    def _chain(self):
+        topo = Topology(["a", "b", "c", "d"])
+        topo.add_link("a", "b", ConstantLatency(1))
+        topo.add_link("b", "c", ConstantLatency(1))
+        topo.add_link("c", "d", ConstantLatency(1))
+        return topo
+
+    def test_multi_hop_route(self):
+        topo = self._chain()
+        route = topo.route("a", "d")
+        assert [(l.src, l.dst) for l in route] == [("a", "b"), ("b", "c"), ("c", "d")]
+
+    def test_route_to_self_is_empty(self):
+        assert self._chain().route("a", "a") == []
+
+    def test_shortest_path_chosen(self):
+        topo = Topology(["a", "b", "sink"])
+        topo.add_link("a", "b", ConstantLatency(1))
+        topo.add_link("b", "sink", ConstantLatency(1))
+        topo.add_link("a", "sink", ConstantLatency(50))
+        route = topo.route("a", "sink")
+        assert len(route) == 1  # direct link wins on hop count
+
+    def test_unreachable_raises(self):
+        topo = Topology(["a", "b"])
+        with pytest.raises(ConfigurationError, match="no route"):
+            topo.route("a", "b")
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(ConfigurationError):
+            self._chain().route("a", "zz")
+
+    def test_direction_matters(self):
+        topo = Topology(["a", "b"])
+        topo.add_link("a", "b", ConstantLatency(1))
+        with pytest.raises(ConfigurationError):
+            topo.route("b", "a")
+
+
+class TestStarFactory:
+    def test_star_links_every_source(self):
+        topo = Topology.star(["s1", "s2", "s3"])
+        for name in ("s1", "s2", "s3"):
+            assert len(topo.route(name, "sink")) == 1
+
+    def test_latency_factory_applied_per_index(self):
+        topo = Topology.star(
+            ["s1", "s2"], latency_factory=lambda i: ConstantLatency(i * 10)
+        )
+        assert topo.link("s1", "sink").latency.delay == 0
+        assert topo.link("s2", "sink").latency.delay == 10

@@ -1,0 +1,159 @@
+"""Property-based tests: engine == oracle on arbitrary traces & arrivals.
+
+These are the library's strongest correctness evidence: hypothesis
+generates random event traces, random patterns knobs, and random
+K-bounded arrival permutations; the out-of-order engine must equal the
+offline oracle on every one of them, and the exactly-once/purge/seal
+machinery must hold its invariants.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    AggressiveEngine,
+    Event,
+    OfflineOracle,
+    OutOfOrderEngine,
+    PurgePolicy,
+    ReorderingEngine,
+    seq,
+)
+from helpers import bounded_shuffle
+
+
+def trace_strategy(types="ABCX", max_ts=60, max_len=60, attr_range=3):
+    event = st.tuples(
+        st.sampled_from(types),
+        st.integers(min_value=0, max_value=max_ts),
+        st.integers(min_value=0, max_value=attr_range - 1),
+    )
+    return st.lists(event, min_size=0, max_size=max_len).map(
+        lambda items: [Event(t, ts, {"x": x}) for t, ts, x in items]
+    )
+
+
+PATTERNS = [
+    seq("A a", "B b", within=10, name="p2"),
+    seq("A a", "B b", "C c", within=20, name="p3"),
+    seq("A a", "!B b", "C c", within=15, name="pneg"),
+    seq("!B b", "A a", "C c", within=15, name="plead"),
+    seq("A a", "C c", "!B b", within=15, name="ptrail"),
+    seq("A first", "A second", within=12, name="prep"),
+]
+
+
+@given(
+    trace=trace_strategy(),
+    pattern_index=st.integers(min_value=0, max_value=len(PATTERNS) - 1),
+    k=st.integers(min_value=0, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=120, deadline=None)
+def test_ooo_engine_equals_oracle_on_bounded_permutations(trace, pattern_index, k, seed):
+    pattern = PATTERNS[pattern_index]
+    arrival = bounded_shuffle(trace, k=k, seed=seed)
+    truth = OfflineOracle(pattern).evaluate_set(trace)
+    engine = OutOfOrderEngine(pattern, k=k)
+    engine.run(arrival)
+    assert engine.result_set() == truth
+    assert engine.stats.late_dropped == 0
+
+
+@given(
+    trace=trace_strategy(),
+    pattern_index=st.integers(min_value=0, max_value=len(PATTERNS) - 1),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_unbounded_k_handles_arbitrary_permutations(trace, pattern_index, seed):
+    pattern = PATTERNS[pattern_index]
+    arrival = trace[:]
+    random.Random(seed).shuffle(arrival)
+    truth = OfflineOracle(pattern).evaluate_set(trace)
+    engine = OutOfOrderEngine(pattern, k=None)
+    engine.run(arrival)
+    assert engine.result_set() == truth
+
+
+@given(
+    trace=trace_strategy(max_len=40),
+    k=st.integers(min_value=0, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+    interval=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_purge_policies_never_change_results(trace, k, seed, interval):
+    pattern = PATTERNS[2]  # negation pattern: hardest for purge
+    arrival = bounded_shuffle(trace, k=k, seed=seed)
+    results = []
+    for policy in (PurgePolicy.eager(), PurgePolicy.lazy(interval), PurgePolicy.none()):
+        engine = OutOfOrderEngine(pattern, k=k, purge=policy)
+        engine.run(arrival)
+        results.append(engine.result_set())
+    assert results[0] == results[1] == results[2]
+
+
+@given(
+    trace=trace_strategy(max_len=40),
+    k=st.integers(min_value=0, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_exactly_once_no_duplicate_emissions(trace, k, seed):
+    pattern = PATTERNS[1]
+    arrival = bounded_shuffle(trace, k=k, seed=seed)
+    engine = OutOfOrderEngine(pattern, k=k)
+    engine.run(arrival)
+    keys = [m.key() for m in engine.results]
+    assert len(keys) == len(set(keys))
+
+
+@given(
+    trace=trace_strategy(max_len=40),
+    k=st.integers(min_value=0, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_reorder_engine_equals_oracle(trace, k, seed):
+    pattern = PATTERNS[2]
+    arrival = bounded_shuffle(trace, k=k, seed=seed)
+    truth = OfflineOracle(pattern).evaluate_set(trace)
+    engine = ReorderingEngine(pattern, k=k)
+    engine.run(arrival)
+    assert engine.result_set() == truth
+
+
+@given(
+    trace=trace_strategy(max_len=40),
+    k=st.integers(min_value=0, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_aggressive_net_results_equal_oracle(trace, k, seed):
+    pattern = PATTERNS[2]
+    arrival = bounded_shuffle(trace, k=k, seed=seed)
+    truth = OfflineOracle(pattern).evaluate_set(trace)
+    engine = AggressiveEngine(pattern, k=k)
+    engine.run(arrival)
+    assert engine.net_result_set() == truth
+    # Revocations only ever remove matches that were emitted.
+    emitted = engine.result_set()
+    for revocation in engine.revocations:
+        assert revocation.match.key() in emitted
+
+
+@given(
+    trace=trace_strategy(max_len=50),
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_emission_never_precedes_trigger(trace, seed, k):
+    pattern = PATTERNS[1]
+    arrival = bounded_shuffle(trace, k=k, seed=seed)
+    engine = OutOfOrderEngine(pattern, k=k)
+    engine.run(arrival)
+    for record in engine.emissions:
+        assert record.emitted_seq >= record.match.detected_at

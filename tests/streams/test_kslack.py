@@ -1,0 +1,154 @@
+"""K estimation (repro.streams.kslack)."""
+
+import pytest
+
+from repro import ConfigurationError, Event, OutOfOrderEngine, OfflineOracle
+from repro.streams import (
+    AdaptiveEngineFeeder,
+    FixedK,
+    MaxObservedK,
+    QuantileK,
+    RandomDelayModel,
+    SyntheticSource,
+    required_k,
+)
+
+
+@pytest.fixture
+def disordered():
+    events = SyntheticSource(["A", "B", "C"], 800, seed=3).take(800)
+    return RandomDelayModel(0.3, 25, seed=4).apply(events)
+
+
+class TestFixedK:
+    def test_constant(self):
+        estimator = FixedK(7)
+        estimator.observe(Event("A", 100))
+        assert estimator.current() == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedK(-1)
+
+
+class TestMaxObservedK:
+    def test_tracks_running_max_delay(self, disordered):
+        estimator = MaxObservedK()
+        for event in disordered:
+            estimator.observe(event)
+        assert estimator.current() == required_k(disordered)
+
+    def test_never_shrinks(self, disordered):
+        estimator = MaxObservedK()
+        seen = []
+        for event in disordered:
+            estimator.observe(event)
+            seen.append(estimator.current())
+        assert all(b >= a for a, b in zip(seen, seen[1:]))
+
+    def test_margin_scales_up(self, disordered):
+        plain = MaxObservedK()
+        padded = MaxObservedK(margin=0.5)
+        for event in disordered:
+            plain.observe(event)
+            padded.observe(event)
+        assert padded.current() >= int(plain.current() * 1.5)
+
+    def test_initial_floor(self):
+        assert MaxObservedK(initial=10).current() == 10
+
+    def test_ordered_stream_yields_zero(self):
+        estimator = MaxObservedK()
+        for ts in range(50):
+            estimator.observe(Event("A", ts))
+        assert estimator.current() == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MaxObservedK(margin=-0.1)
+        with pytest.raises(ConfigurationError):
+            MaxObservedK(initial=-1)
+
+
+class TestQuantileK:
+    def test_quantile_one_close_to_max(self, disordered):
+        estimator = QuantileK(quantile=1.0, window=len(disordered))
+        for event in disordered:
+            estimator.observe(event)
+        assert estimator.current() == required_k(disordered)
+
+    def test_lower_quantile_smaller_k(self, disordered):
+        full = QuantileK(quantile=1.0, window=4000)
+        partial = QuantileK(quantile=0.9, window=4000)
+        for event in disordered:
+            full.observe(event)
+            partial.observe(event)
+        assert partial.current() <= full.current()
+
+    def test_sliding_window_forgets(self):
+        estimator = QuantileK(quantile=1.0, window=10)
+        estimator.observe(Event("A", 100))
+        estimator.observe(Event("A", 1))  # delay 99
+        assert estimator.current() == 99
+        for ts in range(101, 120):
+            estimator.observe(Event("A", ts))
+        assert estimator.current() == 0  # the straggler aged out
+
+    def test_margin_added(self):
+        estimator = QuantileK(quantile=1.0, window=10, margin=5)
+        estimator.observe(Event("A", 10))
+        assert estimator.current() == 5
+
+    def test_empty_returns_margin(self):
+        assert QuantileK(margin=3).current() == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuantileK(quantile=0.0)
+        with pytest.raises(ConfigurationError):
+            QuantileK(quantile=1.5)
+        with pytest.raises(ConfigurationError):
+            QuantileK(window=0)
+        with pytest.raises(ConfigurationError):
+            QuantileK(margin=-1)
+
+
+class TestAdaptiveEngineFeeder:
+    def test_trains_then_runs(self, disordered, abc_pattern):
+        feeder = AdaptiveEngineFeeder(MaxObservedK(margin=0.2), training=400)
+        engine = feeder.run(
+            lambda k: OutOfOrderEngine(abc_pattern, k=k), disordered
+        )
+        assert feeder.chosen_k is not None
+        assert feeder.chosen_k > 0
+        assert engine.closed
+
+    def test_max_estimator_with_full_training_is_exact(self, disordered, abc_pattern):
+        # Training on the whole stream: chosen K dominates every delay.
+        feeder = AdaptiveEngineFeeder(MaxObservedK(), training=len(disordered))
+        engine = feeder.run(
+            lambda k: OutOfOrderEngine(abc_pattern, k=k), disordered
+        )
+        truth = OfflineOracle(abc_pattern).evaluate_set(disordered)
+        assert engine.result_set() == truth
+        assert engine.stats.late_dropped == 0
+
+    def test_quantile_estimator_trades_violations_for_small_k(
+        self, disordered, abc_pattern
+    ):
+        aggressive_estimate = AdaptiveEngineFeeder(
+            QuantileK(quantile=0.5, window=400), training=400
+        )
+        engine = aggressive_estimate.run(
+            lambda k: OutOfOrderEngine(abc_pattern, k=k), disordered
+        )
+        conservative = AdaptiveEngineFeeder(MaxObservedK(), training=400)
+        engine2 = conservative.run(
+            lambda k: OutOfOrderEngine(abc_pattern, k=k), disordered
+        )
+        assert aggressive_estimate.chosen_k <= conservative.chosen_k
+        assert engine.stats.late_dropped >= engine2.stats.late_dropped
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveEngineFeeder(FixedK(1), training=-1)

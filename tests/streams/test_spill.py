@@ -1,0 +1,121 @@
+"""Spill-to-disk reorder buffering (repro.streams.spill)."""
+
+import random
+
+import pytest
+
+from repro import ConfigurationError, Event, OfflineOracle, ReorderingEngine, parse
+from repro.streams import BurstDropoutModel, SyntheticSource
+from repro.streams.spill import SpillingReorderBuffer
+from helpers import bounded_shuffle
+
+
+@pytest.fixture
+def events():
+    return SyntheticSource(["A", "B"], 500, seed=1).take(500)
+
+
+class TestBufferContract:
+    def test_release_returns_sorted_ripe_events(self, events):
+        buffer = SpillingReorderBuffer(memory_limit=50, spill_batch=20)
+        arrival = bounded_shuffle(events, k=30, seed=2)
+        for event in arrival:
+            buffer.push(event)
+        released = buffer.release(horizon=250)
+        timestamps = [e.ts for e in released]
+        assert timestamps == sorted(timestamps)
+        assert all(ts <= 250 for ts in timestamps)
+        buffer.close()
+
+    def test_nothing_lost_across_spill_boundary(self, events):
+        buffer = SpillingReorderBuffer(memory_limit=10, spill_batch=5)
+        for event in events:
+            buffer.push(event)
+        assert len(buffer) == 500
+        assert buffer.disk_size() > 0  # definitely spilled
+        drained = buffer.drain()
+        assert sorted(e.eid for e in drained) == sorted(e.eid for e in events)
+        buffer.close()
+
+    def test_matches_plain_heap_semantics(self, events):
+        arrival = bounded_shuffle(events, k=40, seed=3)
+        spilling = SpillingReorderBuffer(memory_limit=20, spill_batch=10)
+        plain: list = []
+        import heapq
+
+        spilled_out, plain_out = [], []
+        for event in arrival:
+            spilling.push(event)
+            heapq.heappush(plain, (event.ts, event.eid, event))
+            horizon = event.ts - 45
+            spilled_out.extend(spilling.release(horizon))
+            while plain and plain[0][0] <= horizon:
+                plain_out.append(heapq.heappop(plain)[2])
+        spilled_out.extend(spilling.drain())
+        while plain:
+            plain_out.append(heapq.heappop(plain)[2])
+        assert [e.eid for e in spilled_out] == [e.eid for e in plain_out]
+        spilling.close()
+
+    def test_segments_deleted_after_consumption(self, events, tmp_path):
+        buffer = SpillingReorderBuffer(
+            memory_limit=10, spill_batch=10, directory=tmp_path
+        )
+        for event in events[:200]:
+            buffer.push(event)
+        assert list(tmp_path.glob("run-*.jsonl"))
+        buffer.drain()
+        assert not list(tmp_path.glob("run-*.jsonl"))
+        buffer.close()
+
+    def test_spill_stats(self, events):
+        buffer = SpillingReorderBuffer(memory_limit=10, spill_batch=10)
+        for event in events[:100]:
+            buffer.push(event)
+        assert buffer.spilled_events >= 80
+        assert buffer.spill_segments == buffer.spilled_events // 10
+        buffer.close()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpillingReorderBuffer(memory_limit=0)
+        with pytest.raises(ConfigurationError):
+            SpillingReorderBuffer(spill_batch=0)
+
+    def test_pending_unflushed_batch_still_releasable(self):
+        buffer = SpillingReorderBuffer(memory_limit=2, spill_batch=1000)
+        for ts in (5, 6, 1, 2):  # 1 and 2 land in the pending batch
+            buffer.push(Event("A", ts))
+        released = buffer.release(horizon=3)
+        assert [e.ts for e in released] == [1, 2]
+        buffer.close()
+
+
+class TestEngineIntegration:
+    def test_spilling_reorder_engine_is_exact(self):
+        pattern = parse("PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 20")
+        events = SyntheticSource(["A", "B", "C"], 800, seed=4).take(800)
+        arrival = BurstDropoutModel(0.02, 60, seed=5).apply(events)
+        from repro.streams import required_k
+
+        k = required_k(arrival)
+        truth = OfflineOracle(pattern).evaluate_set(events)
+        engine = ReorderingEngine(pattern, k=k, memory_limit=30)
+        engine.run(arrival)
+        assert engine.result_set() == truth
+        assert engine.buffer_memory_size() == 0
+
+    def test_memory_tier_respects_limit(self):
+        pattern = parse("PATTERN SEQ(A a, B b) WITHIN 10")
+        engine = ReorderingEngine(pattern, k=10_000, memory_limit=25)
+        for ts in range(1, 500):
+            engine.feed(Event("Z", ts))
+        # Everything buffered (huge K), but memory tier stays bounded by
+        # limit + one unflushed spill batch.
+        assert engine.buffer_size() > 400
+        assert engine.buffer_memory_size() <= 25 + 1000
+
+    def test_plain_engine_unaffected_by_default(self):
+        pattern = parse("PATTERN SEQ(A a, B b) WITHIN 10")
+        engine = ReorderingEngine(pattern, k=5)
+        assert engine._spill is None

@@ -1,0 +1,88 @@
+"""Intrusion-detection workload (repro.workloads.intrusion)."""
+
+import pytest
+
+from repro import ConfigurationError, OfflineOracle
+from repro.workloads import IntrusionGenerator, brute_force_query, exfiltration_query
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return IntrusionGenerator(hosts=30, duration=10_000, attackers=4, seed=21).generate()
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        first = IntrusionGenerator(seed=1).generate()
+        second = IntrusionGenerator(seed=1).generate()
+        # eids are globally sequential, so determinism is content-level
+        assert [(e.etype, e.ts, e.attrs) for e in first.events] == [
+            (e.etype, e.ts, e.attrs) for e in second.events
+        ]
+
+    def test_occurrence_order(self, trace):
+        timestamps = [e.ts for e in trace.events]
+        assert timestamps == sorted(timestamps)
+
+    def test_attacker_ids_disjoint_from_benign(self, trace):
+        assert all(src > 30 for src in trace.brute_force_sources)
+        assert all(src > 30 for src in trace.exfiltration_sources)
+        assert not (trace.brute_force_sources & trace.exfiltration_sources)
+
+    def test_attacker_counts(self, trace):
+        assert len(trace.brute_force_sources) == 4
+        assert len(trace.exfiltration_sources) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IntrusionGenerator(hosts=0)
+        with pytest.raises(ConfigurationError):
+            IntrusionGenerator(duration=10)
+        with pytest.raises(ConfigurationError):
+            IntrusionGenerator(background_rate=-1)
+        with pytest.raises(ConfigurationError):
+            IntrusionGenerator(attackers=-1)
+
+
+class TestBruteForceQuery:
+    def test_every_attacker_detected(self, trace):
+        query = brute_force_query(within=300)
+        matches = OfflineOracle(query).evaluate(trace.events)
+        detected = {m.events[0]["src"] for m in matches}
+        assert trace.brute_force_sources <= detected
+
+    def test_matches_are_single_source(self, trace):
+        query = brute_force_query(within=300)
+        for match in OfflineOracle(query).evaluate(trace.events):
+            sources = {e["src"] for e in match.events}
+            assert len(sources) == 1
+
+
+class TestExfiltrationQuery:
+    def test_every_exfiltrator_detected(self, trace):
+        query = exfiltration_query(within=500)
+        matches = OfflineOracle(query).evaluate(trace.events)
+        detected = {m.events[0]["src"] for m in matches}
+        assert trace.exfiltration_sources <= detected
+
+    def test_audited_workflows_not_flagged(self, trace):
+        query = exfiltration_query(within=500)
+        matches = OfflineOracle(query).evaluate(trace.events)
+        detected = {m.events[0]["src"] for m in matches}
+        # Benign hosts always audit between read and upload, so a benign
+        # host can only appear via cross-workflow pairs whose interleaved
+        # audit is missing — the generator always audits, so any benign
+        # read→upload pair with no audit between them must span two
+        # workflows where the later workflow's audit falls outside the
+        # pair's bracket.  Verify flagged benign pairs truly lack audits.
+        audit_times = {}
+        for event in trace.events:
+            if event.etype == "AUDIT":
+                audit_times.setdefault(event["src"], []).append(event.ts)
+        for match in matches:
+            read, upload = match.events
+            src = read["src"]
+            between = [
+                t for t in audit_times.get(src, []) if read.ts < t < upload.ts
+            ]
+            assert between == []
