@@ -34,6 +34,7 @@ EXPERIMENTS = [
     ("e13", "bench_e13_partitioning"),
     ("e14", "bench_e14_kleene"),
     ("e15", "bench_e15_multiquery"),
+    ("e16", "bench_e16_batch_parallel"),
 ]
 
 

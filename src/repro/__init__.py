@@ -53,6 +53,7 @@ from repro.core import (
     Or,
     OrderedOutputAdapter,
     OutOfOrderEngine,
+    ParallelPartitionedEngine,
     ParseError,
     PartitionedEngine,
     Pattern,
@@ -114,6 +115,7 @@ __all__ = [
     "OrderedOutputAdapter",
     "OutOfOrderEngine",
     "ParseError",
+    "ParallelPartitionedEngine",
     "PartitionedEngine",
     "Pattern",
     "Predicate",

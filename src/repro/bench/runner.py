@@ -24,13 +24,14 @@ from repro.core.errors import ConfigurationError
 from repro.core.event import Event
 from repro.core.inorder import InOrderEngine
 from repro.core.oracle import OfflineOracle
+from repro.core.partition import ParallelPartitionedEngine, PartitionedEngine
 from repro.core.pattern import Pattern
 from repro.core.purge import PurgePolicy
 from repro.core.reorder import ReorderingEngine
 from repro.metrics.latency import summarize_arrival_latency, summarize_occurrence_latency
 from repro.metrics.quality import QualityReport, compare_keys
 
-ENGINE_NAMES = ("ooo", "inorder", "reorder", "aggressive")
+ENGINE_NAMES = ("ooo", "inorder", "reorder", "aggressive", "partitioned", "parallel")
 
 
 def make_engine(
@@ -39,13 +40,18 @@ def make_engine(
     k: Optional[int] = None,
     purge: Optional[PurgePolicy] = None,
     optimize: bool = True,
+    key: Optional[str] = None,
+    workers: int = 1,
+    backend: str = "thread",
 ) -> Engine:
     """Build an engine by strategy name.
 
-    ``ooo``        the paper's native out-of-order engine
-    ``inorder``    SASE-style baseline assuming ordered arrival
-    ``reorder``    K-slack buffer-and-sort in front of the baseline
-    ``aggressive`` optimistic emit + revocations (extension)
+    ``ooo``         the paper's native out-of-order engine
+    ``inorder``     SASE-style baseline assuming ordered arrival
+    ``reorder``     K-slack buffer-and-sort in front of the baseline
+    ``aggressive``  optimistic emit + revocations (extension)
+    ``partitioned`` per-key sub-engines, serial routing
+    ``parallel``    partitioned with a worker pool (*workers*, *backend*)
     """
     if name == "ooo":
         return OutOfOrderEngine(
@@ -69,6 +75,12 @@ def make_engine(
             optimize_scan=optimize,
             optimize_construction=optimize,
         )
+    if name == "partitioned":
+        return PartitionedEngine(pattern, k=k, purge=purge, key=key)
+    if name == "parallel":
+        return ParallelPartitionedEngine(
+            pattern, k=k, purge=purge, key=key, workers=workers, backend=backend
+        )
     raise ConfigurationError(f"unknown engine {name!r}; choose from {ENGINE_NAMES}")
 
 
@@ -76,15 +88,29 @@ def run_cell(
     engine: Engine,
     arrival: Sequence[Event],
     truth_keys=None,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """One (engine, trace) measurement cell.
 
     When *truth_keys* (oracle identity set) is provided, quality
     metrics are included; engines with a ``net_result_set`` (the
     aggressive strategy) are judged on their net output.
+
+    *batch_size* selects the feeding discipline: ``None`` hands the
+    whole trace to ``feed_many`` (the batched fast path), a positive
+    value feeds chunks of that size through ``feed_batch``, and ``0``
+    forces the per-event ``feed`` loop — the reference discipline the
+    batch speedups in experiment E16 are measured against.
     """
     start = time.perf_counter()
-    engine.feed_many(arrival)
+    if batch_size is None:
+        engine.feed_many(arrival)
+    elif batch_size <= 0:
+        for element in arrival:
+            engine.feed(element)
+    else:
+        for lo in range(0, len(arrival), batch_size):
+            engine.feed_batch(arrival[lo : lo + batch_size])
     engine.close()
     seconds = time.perf_counter() - start
 
@@ -96,6 +122,7 @@ def run_cell(
     cell: Dict[str, Any] = {
         "engine": type(engine).__name__,
         "events": len(arrival),
+        "batch_size": batch_size,
         "seconds": seconds,
         "events_per_sec": len(arrival) / seconds if seconds > 0 else float("inf"),
         "matches": len(engine.results),

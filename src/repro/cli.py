@@ -25,7 +25,6 @@ from repro.bench import make_engine
 from repro.core.errors import ReproError
 from repro.core.oracle import OfflineOracle
 from repro.core.parser import parse
-from repro.core.partition import PartitionedEngine
 from repro.core.purge import PurgePolicy
 from repro.metrics import compare_keys, render_table, summarize_arrival_latency
 from repro.streams import (
@@ -57,11 +56,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--engine",
         default="ooo",
-        choices=["ooo", "inorder", "reorder", "aggressive", "partitioned"],
+        choices=["ooo", "inorder", "reorder", "aggressive", "partitioned", "parallel"],
     )
     run.add_argument("--k", type=int, default=None, help="disorder bound K")
     run.add_argument(
         "--purge", default="eager", help="purge policy: eager | lazy:<interval> | none"
+    )
+    run.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="feed in batches of N events (0 = per-event feed; default: one batch)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker pool size for --engine parallel (1 = serial fallback)",
+    )
+    run.add_argument(
+        "--backend", default="thread", choices=["thread", "process"],
+        help="pool backend for --engine parallel",
     )
     run.add_argument("--verify", action="store_true", help="compare against the offline oracle")
     run.add_argument("--show-matches", type=int, default=5, metavar="N",
@@ -113,11 +124,19 @@ def _command_run(args: argparse.Namespace) -> int:
     pattern = parse(args.query)
     elements = load_trace(args.trace)
     purge = _parse_purge(args.purge)
-    if args.engine == "partitioned":
-        engine = PartitionedEngine(pattern, k=args.k, purge=purge)
+    engine = make_engine(
+        args.engine, pattern, k=args.k, purge=purge,
+        workers=args.workers, backend=args.backend,
+    )
+    if args.batch_size is None:
+        engine.feed_many(elements)
+    elif args.batch_size <= 0:
+        for element in elements:
+            engine.feed(element)
     else:
-        engine = make_engine(args.engine, pattern, k=args.k, purge=purge)
-    engine.run(elements)
+        for lo in range(0, len(elements), args.batch_size):
+            engine.feed_batch(elements[lo : lo + args.batch_size])
+    engine.close()
 
     from repro.core.event import Event
 

@@ -21,7 +21,11 @@ from repro.core.inorder import InOrderEngine
 from repro.core.oracle import OfflineOracle, oracle_matches
 from repro.core.ordered_output import OrderedOutputAdapter
 from repro.core.parser import parse
-from repro.core.partition import PartitionedEngine, detect_partition_key
+from repro.core.partition import (
+    ParallelPartitionedEngine,
+    PartitionedEngine,
+    detect_partition_key,
+)
 from repro.core.pattern import KleeneBracket, Match, NegationBracket, Pattern, Step, seq
 from repro.core.plan import MultiQueryPlan, QueryPlan
 from repro.core.predicates import (
@@ -80,6 +84,7 @@ __all__ = [
     "OrderedOutputAdapter",
     "OutOfOrderEngine",
     "ParseError",
+    "ParallelPartitionedEngine",
     "PartitionedEngine",
     "Pattern",
     "Predicate",

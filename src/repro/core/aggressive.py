@@ -125,6 +125,15 @@ class AggressiveEngine(OutOfOrderEngine):
             self._revoke_invalidated(event)
         return emitted
 
+    def _post_event(self, event: Event) -> None:
+        # Batch-path mirror of the _process_event extension above: the
+        # revocation scan must run even for late-dropped negatives.
+        if event.etype in self.pattern.negated_types and self._exposed:
+            self._revoke_invalidated(event)
+
+    def _ripe_possible(self) -> bool:
+        return bool(self.pending._heap) or bool(self._exposed)
+
     def _revoke_invalidated(self, negative: Event) -> None:
         pattern = self.pattern
         survivors: List[Tuple[int, int, Match]] = []
@@ -143,6 +152,7 @@ class AggressiveEngine(OutOfOrderEngine):
         if len(survivors) != len(self._exposed):
             self._exposed = survivors
             heapq.heapify(self._exposed)
+            self.stats.matches_pending = len(self._exposed) + len(self.pending)
 
     def _invalidates(self, negative: Event, match: Match) -> bool:
         for bracket in self.pattern.negation_brackets_of_type.get(

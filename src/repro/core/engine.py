@@ -28,6 +28,7 @@ which the record/replay substrate and the benchmarks rely on.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left
 from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
 
 from repro.core.clock import StreamClock
@@ -35,7 +36,7 @@ from repro.core.errors import ConfigurationError, DisorderBoundViolation, Engine
 from repro.core.event import Event, Punctuation, StreamElement, is_event
 from repro.core.negation import collect_kleene, PendingMatches, seal_point, violated
 from repro.core.pattern import Match, Pattern
-from repro.core.purge import PurgePolicy, Purger
+from repro.core.purge import PurgeMode, PurgePolicy, Purger
 from repro.core.scan import SequenceScanner
 from repro.core.construction import SequenceConstructor
 from repro.core.stacks import Instance, NegativeStore, StackSet
@@ -91,12 +92,23 @@ class Engine:
         self.stats.note_state_size(self.state_size())
         return emitted
 
-    def feed_many(self, elements: Iterable[StreamElement]) -> List[Match]:
-        """Feed every element; returns all matches emitted during the run."""
+    def feed_batch(self, elements: Iterable[StreamElement]) -> List[Match]:
+        """Process a batch of elements; returns matches emitted during it.
+
+        Semantically identical to ``for x in elements: feed(x)`` —
+        emissions, counters and state trajectories match element for
+        element (the property suite pins this).  Engines with a batched
+        fast path override this to amortise per-element dispatch; the
+        base implementation is the reference loop.
+        """
         emitted: List[Match] = []
         for element in elements:
             emitted.extend(self.feed(element))
         return emitted
+
+    def feed_many(self, elements: Iterable[StreamElement]) -> List[Match]:
+        """Feed every element; returns all matches emitted during the run."""
+        return self.feed_batch(elements)
 
     def close(self) -> List[Match]:
         """End of stream: release everything still pending, then seal the engine."""
@@ -180,7 +192,9 @@ class OutOfOrderEngine(Engine):
             raise ConfigurationError(f"late_policy must be a LatePolicy, got {late_policy!r}")
         self.clock = StreamClock(k)
         self.late_policy = late_policy
-        self.purge_policy = purge if purge is not None else PurgePolicy.eager()
+        # Cloned: due() mutates schedule state, so engines must not share
+        # the caller's policy object (see PurgePolicy.clone).
+        self.purge_policy = (purge if purge is not None else PurgePolicy.eager()).clone()
         self.stacks = StackSet(pattern.length)
         self.negatives = NegativeStore(pattern.negated_types)
         # Kleene elements live in their own ts-sorted store, consulted at
@@ -263,6 +277,278 @@ class OutOfOrderEngine(Engine):
                 self.clock.horizon(), self.stacks, self.negatives,
                 self.stats, kleene=self.kleene_store,
             )
+        return emitted
+
+    # -- batched fast path ---------------------------------------------------------
+
+    def _post_event(self, event: Event) -> None:
+        """Batch-path hook mirroring per-event subclass extensions.
+
+        Subclasses that extend :meth:`_process_event` with extra
+        per-event work that must run even for late-dropped events (the
+        aggressive engine's revocation scan) override this so
+        :meth:`feed_batch` stays identical to per-event feeding.
+        """
+
+    def _ripe_possible(self) -> bool:
+        """True when :meth:`_release_ripe` could do any work right now.
+
+        Skipping the release call while nothing is pending is safe:
+        ``stats.matches_pending`` is maintained at every transition, so
+        an empty buffer implies the counter already reads zero.
+        """
+        return bool(self.pending._heap)
+
+    def feed_batch(self, elements: Iterable[StreamElement]) -> List[Match]:
+        """Batched hot path: one tight loop instead of a feed() per element.
+
+        Observable behaviour — emissions, every counter, the state
+        trajectory, even exceptions — is identical to feeding the
+        elements one at a time (pinned by the batch property suite).
+        The amortisations are purely mechanical:
+
+        * attribute lookups, clock arithmetic and purge scheduling are
+          hoisted out of the per-element path;
+        * admission uses the scanner's pre-resolved per-type dispatch
+          table instead of re-deriving step lists per arrival;
+        * purge scans that provably cannot drop anything (horizon
+          unmoved, no insert at or below a purge threshold) are elided,
+          keeping only their schedule bookkeeping;
+        * the per-element state-size high-water mark is tracked
+          incrementally instead of re-summing every store.
+
+        The stream clock is advanced exactly as in per-event feeding, so
+        lateness decisions and seal timing are unchanged — batching
+        never trades correctness or K-semantics for speed.
+        """
+        if self._closed:
+            raise EngineStateError(f"{type(self).__name__} is closed")
+        emitted: List[Match] = []
+        stats = self.stats
+        clock = self.clock
+        pattern = self.pattern
+        scanner = self.scanner
+        stacks = self.stacks
+        stack_list = stacks.stacks
+        stack_keys = [stack._keys for stack in stack_list]
+        negatives = self.negatives
+        kleene = self.kleene_store
+        pending_heap = self.pending._heap
+        purge_policy = self.purge_policy
+        probe = scanner.optimize
+        construct = self.constructor.construct
+        route = self._route
+        dispatch = scanner.dispatch()
+        relevant_types = pattern.relevant_types
+        has_negatives = bool(pattern.negated_types)
+        has_kleene = bool(pattern.kleene_types)
+        neg_relevant = negatives.relevant
+        kleene_relevant = kleene.relevant
+        neg_insert = negatives.insert
+        kleene_insert = kleene.insert
+        window = pattern.within
+        length = pattern.length
+        final_step = length - 1
+        step_range = list(range(length))
+        late_policy = self.late_policy
+        drop_late = late_policy is LatePolicy.DROP
+        raise_late = late_policy is LatePolicy.RAISE
+        purge_mode = purge_policy.mode
+        purge_eager = purge_mode is PurgeMode.EAGER
+        purge_lazy = purge_mode is PurgeMode.LAZY
+        purge_interval = purge_policy.interval
+        since_last = purge_policy._since_last
+        # Subclass hooks: pay the per-event call only when overridden.
+        post_event = (
+            self._post_event
+            if type(self)._post_event is not OutOfOrderEngine._post_event
+            else None
+        )
+        plain_ripe = type(self)._ripe_possible is OutOfOrderEngine._ripe_possible
+        ripe_possible = self._ripe_possible
+        # Clock state, mirrored locally; writes go through so emission
+        # bookkeeping (clock.now at _decide time) stays exact.
+        k = clock.k
+        max_ts = clock._max_ts
+        observations = 0
+        horizon = clock.horizon()
+        # Incremental state-size tracking for the peak high-water mark.
+        store_size = stacks.size() + negatives.size() + kleene.size()
+        peak = stats.peak_state_size
+        # Flow counters, accumulated locally and flushed on exit.
+        events_in = events_admitted = events_ignored = 0
+        late_dropped = out_of_order = 0
+        purge_runs = instances_purged = side_purged = skipped_by_probe = 0
+        # Purge elision: a due purge is skipped (bookkeeping only) when
+        # the horizon has not advanced past the last scanned one and no
+        # insert landed at or below a purge threshold since.
+        purged_at = -2
+        dirty = True
+        try:
+            for element in elements:
+                if isinstance(element, Event):
+                    self._arrival += 1
+                    events_in += 1
+                    ts = element.ts
+                    was_late = ts <= horizon
+                    if was_late:
+                        if raise_late:
+                            raise DisorderBoundViolation(element, max_ts, k or 0)
+                        late_dropped += 1
+                        if drop_late:
+                            if post_event is not None:
+                                post_event(element)
+                            continue
+                        # LatePolicy.PROCESS: best effort, falls through.
+                    observations += 1
+                    if ts > max_ts:
+                        max_ts = ts
+                        clock._max_ts = ts
+                        if k is not None:
+                            advanced = ts - k - 1
+                            if advanced > horizon:
+                                horizon = advanced
+                    elif ts < max_ts:
+                        out_of_order += 1
+
+                    etype = element.etype
+                    if etype not in relevant_types:
+                        events_ignored += 1
+                    else:
+                        side_stored = False
+                        if has_negatives and neg_relevant(etype):
+                            neg_insert(element)
+                            side_stored = True
+                            store_size += 1
+                        if has_kleene and kleene_relevant(etype):
+                            kleene_insert(element)
+                            side_stored = True
+                            store_size += 1
+                        admitted = False
+                        entries = dispatch.get(etype)
+                        if entries:
+                            instance = None
+                            for step_index, var, predicates in entries:
+                                if predicates:
+                                    bindings = {var: element}
+                                    ok = True
+                                    for predicate in predicates:
+                                        if not predicate.evaluate(bindings):
+                                            ok = False
+                                            break
+                                    if not ok:
+                                        continue
+                                if instance is None:
+                                    instance = Instance(element, self._arrival)
+                                admitted = True
+                                stack_list[step_index].insert(instance)
+                                store_size += 1
+                                if was_late or (
+                                    step_index == final_step and ts <= horizon + 1
+                                ):
+                                    dirty = True
+                                # Inlined feasibility probe (mirrors
+                                # SequenceScanner.construction_feasible).
+                                ok = True
+                                if probe:
+                                    for j in step_range:
+                                        if j == step_index:
+                                            continue
+                                        if j < step_index:
+                                            lo = ts - window
+                                            hi = ts - 1
+                                        else:
+                                            lo = ts + 1
+                                            hi = ts + window
+                                        keys = stack_keys[j]
+                                        index = bisect_left(keys, (lo, -1))
+                                        if index >= len(keys) or keys[index][0] > hi:
+                                            ok = False
+                                            skipped_by_probe += 1
+                                            break
+                                if ok:
+                                    for match in construct(
+                                        stacks, step_index, instance, stats
+                                    ):
+                                        route(match, emitted)
+                        if was_late and side_stored:
+                            dirty = True
+                        if admitted or side_stored:
+                            events_admitted += 1
+                        else:
+                            events_ignored += 1
+
+                    if pending_heap or (not plain_ripe and ripe_possible()):
+                        self._release_ripe(emitted)
+                    if purge_eager:
+                        due = True
+                    elif purge_lazy:
+                        since_last += 1
+                        if since_last >= purge_interval:
+                            since_last = 0
+                            due = True
+                        else:
+                            due = False
+                    else:
+                        due = False
+                    if due and horizon >= 0:
+                        if dirty or horizon > purged_at:
+                            # Inlined purge (mirrors Purger.run), with an
+                            # O(1) per-stack pre-check before each cut.
+                            nonfinal_cut = horizon - window
+                            for j in step_range:
+                                cut = horizon + 1 if j == final_step else nonfinal_cut
+                                keys = stack_keys[j]
+                                if keys and keys[0][0] <= cut:
+                                    dropped = stack_list[j].purge_through(cut)
+                                    instances_purged += dropped
+                                    store_size -= dropped
+                            if has_negatives:
+                                dropped = negatives.purge_through(nonfinal_cut)
+                                side_purged += dropped
+                                store_size -= dropped
+                            if has_kleene:
+                                dropped = kleene.purge_through(nonfinal_cut)
+                                side_purged += dropped
+                                store_size -= dropped
+                            purged_at = horizon
+                            dirty = False
+                        purge_runs += 1
+                    size_now = store_size + len(pending_heap)
+                    if size_now > peak:
+                        peak = size_now
+                    if post_event is not None:
+                        post_event(element)
+                else:
+                    # Punctuations are rare: run the exact per-element
+                    # path, then resynchronise the hoisted locals.
+                    stats.punctuations_in += 1
+                    clock._observations += observations
+                    observations = 0
+                    purge_policy._since_last = since_last
+                    emitted.extend(self._on_punctuation(element))
+                    max_ts = clock._max_ts
+                    horizon = clock.horizon()
+                    since_last = purge_policy._since_last
+                    store_size = stacks.size() + negatives.size() + kleene.size()
+                    purged_at = -2
+                    dirty = True
+                    size_now = store_size + len(pending_heap)
+                    if size_now > peak:
+                        peak = size_now
+        finally:
+            clock._observations += observations
+            purge_policy._since_last = since_last
+            stats.peak_state_size = peak
+            stats.events_in += events_in
+            stats.events_admitted += events_admitted
+            stats.events_ignored += events_ignored
+            stats.late_dropped += late_dropped
+            stats.out_of_order_events += out_of_order
+            stats.purge_runs += purge_runs
+            stats.instances_purged += instances_purged
+            stats.negatives_purged += side_purged
+            stats.construction_skipped_by_probe += skipped_by_probe
         return emitted
 
     def _flush(self) -> List[Match]:

@@ -87,6 +87,13 @@ class Event:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Event is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling would trip the immutability guard
+        # on restore; rebuild through the constructor instead, keeping
+        # the explicit eid so identity survives the round trip (process
+        # pool workers compare result sets by event identity).
+        return (Event, (self.etype, self.ts, self._attrs, self.eid))
+
     @property
     def attrs(self) -> Dict[str, Any]:
         """A copy of the attribute mapping (mutating it does not affect the event)."""
@@ -154,6 +161,10 @@ class Punctuation:
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Punctuation is immutable")
+
+    def __reduce__(self):
+        # See Event.__reduce__: restore via the constructor, not slot state.
+        return (Punctuation, (self.ts,))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Punctuation):

@@ -38,14 +38,15 @@ zero disorder.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.clock import StreamClock
 from repro.core.engine import Engine
-from repro.core.event import Event, Punctuation
+from repro.core.errors import EngineStateError
+from repro.core.event import Event, Punctuation, StreamElement
 from repro.core.negation import collect_kleene, PendingMatches, seal_point, violated
 from repro.core.pattern import Match, Pattern
-from repro.core.purge import PurgePolicy, Purger
+from repro.core.purge import PurgeMode, PurgePolicy, Purger
 from repro.core.stacks import NegativeStore
 
 
@@ -75,7 +76,9 @@ class InOrderEngine(Engine):
         super().__init__(pattern)
         # k=0: "arrival order equals occurrence order" as a clock promise.
         self.clock = StreamClock(k=0)
-        self.purge_policy = purge if purge is not None else PurgePolicy.eager()
+        # Cloned: due() mutates schedule state, so engines must not share
+        # the caller's policy object (see PurgePolicy.clone).
+        self.purge_policy = (purge if purge is not None else PurgePolicy.eager()).clone()
         self.stacks: List[List[_RipInstance]] = [[] for _ in range(pattern.length)]
         self.negatives = NegativeStore(pattern.negated_types)
         self.kleene_store = NegativeStore(pattern.kleene_types)
@@ -91,6 +94,19 @@ class InOrderEngine(Engine):
         for predicate in pattern.positive_predicates:
             earliest = min(position[v] for v in predicate.variables())
             self._desc_staged[earliest].append(predicate)
+        # Per-step local predicates (single-variable), resolved once so
+        # admission does not re-filter the staged lists per event.
+        self._local: List[List] = []
+        for step in pattern.positive_steps:
+            staged = pattern.staged.get(step.var, [])
+            self._local.append([p for p in staged if p.variables() == {step.var}])
+        # Event type → ((step_index, var, local predicates), …), so the
+        # batched path admits with a single dict probe.
+        self._admission: Dict[str, Tuple] = {}
+        for etype, steps in pattern.steps_of_type.items():
+            self._admission[etype] = tuple(
+                (index, self._vars[index], tuple(self._local[index])) for index in steps
+            )
 
     # -- state ---------------------------------------------------------------
 
@@ -154,6 +170,179 @@ class InOrderEngine(Engine):
             self._decide(match, emitted)
         return emitted
 
+    # -- batched fast path -------------------------------------------------------
+
+    def feed_batch(self, elements: Iterable[StreamElement]) -> List[Match]:
+        """Batched hot path; observably identical to feeding one at a time.
+
+        Same playbook as :meth:`OutOfOrderEngine.feed_batch`: hoist
+        attribute lookups and clock/purge arithmetic into locals, admit
+        via the pre-resolved per-type table, accumulate flow counters
+        locally (flushed in ``finally``), and elide purge scans that are
+        provably no-ops (horizon unmoved and no insert landed at or
+        below a purge threshold since the last scan — elided runs still
+        count in ``stats.purge_runs``, exactly as the per-event path
+        counts its no-op scans).
+        """
+        if self._closed:
+            raise EngineStateError(f"{type(self).__name__} is closed")
+        emitted: List[Match] = []
+        stats = self.stats
+        clock = self.clock
+        pattern = self.pattern
+        stacks = self.stacks
+        negatives = self.negatives
+        kleene_store = self.kleene_store
+        pending_heap = self.pending._heap
+        purge_policy = self.purge_policy
+        relevant_types = pattern.relevant_types
+        admission = self._admission
+        neg_relevant = negatives.relevant
+        kleene_relevant = kleene_store.relevant
+        neg_insert = negatives.insert
+        kleene_insert = kleene_store.insert
+        construct = self._construct
+        route = self._route
+        window = pattern.within
+        final = pattern.length - 1
+
+        purge_mode = purge_policy.mode
+        purge_eager = purge_mode is PurgeMode.EAGER
+        purge_lazy = purge_mode is PurgeMode.LAZY
+        purge_interval = purge_policy.interval
+        since_last = purge_policy._since_last
+
+        max_ts = clock._max_ts
+        horizon = clock.horizon()
+        observations = 0
+        stacked = sum(len(stack) for stack in stacks)
+        side_size = negatives.size() + kleene_store.size()
+        peak = stats.peak_state_size
+        events_in = 0
+        events_admitted = 0
+        events_ignored = 0
+        out_of_order = 0
+        predicate_evals = 0
+        # Purge-elision trackers: the horizon the last real scan ran at,
+        # and whether any insert since could sit at/below a threshold.
+        purged_at = -2
+        dirty = True
+        try:
+            for element in elements:
+                if isinstance(element, Event):
+                    self._arrival += 1
+                    events_in += 1
+                    observations += 1
+                    ts = element.ts
+                    if ts > max_ts:
+                        max_ts = ts
+                        clock._max_ts = ts
+                        advanced = ts - 1  # k = 0: horizon = max_ts - 1
+                        if advanced > horizon:
+                            horizon = advanced
+                    elif ts < max_ts:
+                        out_of_order += 1
+                    etype = element.etype
+                    if etype not in relevant_types:
+                        events_ignored += 1
+                    else:
+                        admitted = False
+                        if neg_relevant(etype):
+                            neg_insert(element)
+                            admitted = True
+                            side_size += 1
+                            if ts <= horizon - window:
+                                dirty = True
+                        if kleene_relevant(etype):
+                            kleene_insert(element)
+                            admitted = True
+                            side_size += 1
+                            if ts <= horizon - window:
+                                dirty = True
+                        entries = admission.get(etype)
+                        if entries:
+                            arrival = self._arrival
+                            for step_index, var, predicates in entries:
+                                if predicates:
+                                    bindings = {var: element}
+                                    ok = True
+                                    for predicate in predicates:
+                                        predicate_evals += 1
+                                        if not predicate.evaluate(bindings):
+                                            ok = False
+                                            break
+                                    if not ok:
+                                        continue
+                                admitted = True
+                                rip = len(stacks[step_index - 1]) if step_index > 0 else 0
+                                instance = _RipInstance(element, arrival, rip)
+                                stacks[step_index].append(instance)
+                                stacked += 1
+                                if step_index == final:
+                                    if ts <= horizon + 1:
+                                        dirty = True
+                                    for match in construct(instance):
+                                        route(match, emitted)
+                                elif ts <= horizon - window:
+                                    dirty = True
+                        if admitted:
+                            events_admitted += 1
+                        else:
+                            events_ignored += 1
+                    if pending_heap:
+                        self._release_ripe(emitted)
+                    if purge_eager:
+                        due = True
+                    elif purge_lazy:
+                        since_last += 1
+                        if since_last >= purge_interval:
+                            since_last = 0
+                            due = True
+                        else:
+                            due = False
+                    else:
+                        due = False
+                    if due and horizon >= 0:
+                        if dirty or horizon > purged_at:
+                            self._purge()
+                            purged_at = horizon
+                            dirty = False
+                            stacked = sum(len(stack) for stack in stacks)
+                            side_size = negatives.size() + kleene_store.size()
+                        else:
+                            stats.purge_runs += 1
+                    size_now = stacked + side_size + len(pending_heap)
+                    if size_now > peak:
+                        peak = size_now
+                else:
+                    # Punctuations take the per-element path; sync the
+                    # hoisted locals across the call.
+                    stats.punctuations_in += 1
+                    clock._observations += observations
+                    observations = 0
+                    purge_policy._since_last = since_last
+                    emitted.extend(self._on_punctuation(element))
+                    max_ts = clock._max_ts
+                    horizon = clock.horizon()
+                    since_last = purge_policy._since_last
+                    stacked = sum(len(stack) for stack in stacks)
+                    side_size = negatives.size() + kleene_store.size()
+                    purged_at = -2
+                    dirty = True
+                    size_now = stacked + side_size + len(pending_heap)
+                    if size_now > peak:
+                        peak = size_now
+        finally:
+            clock._observations += observations
+            purge_policy._since_last = since_last
+            stats.peak_state_size = peak
+            stats.events_in += events_in
+            stats.events_admitted += events_admitted
+            stats.events_ignored += events_ignored
+            stats.out_of_order_events += out_of_order
+            stats.predicate_evaluations += predicate_evals
+        return emitted
+
     # -- construction (RIP descent) --------------------------------------------------
 
     def _construct(self, trigger: _RipInstance) -> List[Match]:
@@ -215,11 +404,10 @@ class InOrderEngine(Engine):
         return True
 
     def _local_ok(self, step_index: int, event: Event) -> bool:
-        step = self.pattern.positive_steps[step_index]
-        staged = self.pattern.staged.get(step.var, ())
-        local = [p for p in staged if p.variables() == {step.var}]
+        local = self._local[step_index]
         if not local:
             return True
+        step = self.pattern.positive_steps[step_index]
         bindings = {step.var: event}
         for predicate in local:
             self.stats.predicate_evaluations += 1

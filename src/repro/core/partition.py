@@ -237,3 +237,193 @@ class PartitionedEngine(Engine):
         for engine in self._partitions.values():
             merged.merge(engine.stats)
         return merged
+
+
+def _run_partition(payload):
+    """Pool worker: run one partition's event slice through a fresh engine.
+
+    Module-level so both pool backends can pickle it; returns the
+    partition's final matches plus its work counters.
+    """
+    pattern, k, purge_mode, purge_interval, late_policy, events = payload
+    purge = None
+    if purge_mode is not None:
+        purge = PurgePolicy(purge_mode, purge_interval)
+    engine = OutOfOrderEngine(pattern, k=k, purge=purge, late_policy=late_policy)
+    engine.feed_batch(events)
+    engine.close()
+    return engine.results, engine.stats
+
+
+class ParallelPartitionedEngine(PartitionedEngine):
+    """Partitioned evaluation fanned out over a worker pool.
+
+    With ``workers=1`` this class **is** the serial
+    :class:`PartitionedEngine` — no code path diverges, so golden traces
+    stay byte-identical.  With ``workers > 1`` execution is deferred:
+    ``feed`` runs only the global-clock pre-pass (late-arrival policy
+    and routing, with identical flow accounting to the serial engine)
+    and buffers each partition's events; :meth:`close` then runs every
+    partition to completion on the pool and merges the emissions
+    **deterministically** by ``(end_ts, start_ts, match key)``, so the
+    output is a pure function of the input stream regardless of worker
+    count or scheduling.
+
+    Correctness of the fan-out: the pre-pass replicates every
+    late-drop decision (the outer clock sees the full stream, exactly
+    as the serial engine's outer clock does), and a sub-engine's local
+    horizon never exceeds the global one, so deferring a partition's
+    events can never drop more.  The serial engine's broadcast
+    punctuations only accelerate purging and sealing — they never
+    change the post-``close`` result set — so the workers skip them.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` = serial fallback (byte-identical traces).
+    backend:
+        ``"thread"`` (default; no pickling constraints, best for small
+        batches under a free-threaded or I/O-bound runtime) or
+        ``"process"`` (true parallelism; pattern, predicates and events
+        must be picklable, so ``FnPredicate`` lambdas are out).
+
+    Notes
+    -----
+    With ``workers > 1`` the streaming surface is deliberately coarse:
+    ``feed`` returns no matches (everything surfaces at ``close``),
+    emission records carry the end-of-stream clock, and per-element
+    state peaks reflect the buffered events.  Late-policy ``PROCESS``
+    keeps its best-effort character: purge timing differs between
+    serial and parallel runs, so results involving purged state may
+    differ — ``DROP`` and ``RAISE`` are exact.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        k: Optional[int] = None,
+        purge: Optional[PurgePolicy] = None,
+        late_policy: LatePolicy = LatePolicy.DROP,
+        key: Optional[str] = None,
+        punctuate_every: int = 64,
+        workers: int = 1,
+        backend: str = "thread",
+    ):
+        super().__init__(
+            pattern,
+            k=k,
+            purge=purge,
+            late_policy=late_policy,
+            key=key,
+            punctuate_every=punctuate_every,
+        )
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ConfigurationError(f"workers must be an int >= 1, got {workers!r}")
+        if backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        self.workers = workers
+        self.backend = backend
+        self._routed: Dict[Any, List[Event]] = {}
+        self._worker_stats: List = []
+
+    # -- deferred pre-pass (workers > 1) -------------------------------------------
+
+    def _process_event(self, event: Event) -> List[Match]:
+        if self.workers == 1:
+            return PartitionedEngine._process_event(self, event)
+        if self.clock.is_late(event):
+            self.stats.late_dropped += 1
+            if self.late_policy is LatePolicy.RAISE:
+                from repro.core.errors import DisorderBoundViolation
+
+                raise DisorderBoundViolation(event, self.clock.now, self.k or 0)
+            if self.late_policy is LatePolicy.DROP:
+                return []
+        if self.clock.observe(event):
+            self.stats.out_of_order_events += 1
+        if event.etype in self.pattern.relevant_types:
+            value = event.get(self.key)
+            if value is None and self.key not in event:
+                self.stats.events_ignored += 1
+            else:
+                bucket = self._routed.get(value)
+                if bucket is None:
+                    bucket = self._routed[value] = []
+                bucket.append(event)
+                self.stats.events_admitted += 1
+        else:
+            self.stats.events_ignored += 1
+        return []
+
+    def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
+        if self.workers == 1:
+            return PartitionedEngine._on_punctuation(self, punctuation)
+        # Advance the global clock so later events are judged against the
+        # punctuated horizon, exactly as the serial pre-pass would.
+        self.clock.observe_punctuation(punctuation)
+        self._last_broadcast = max(self._last_broadcast, punctuation.ts)
+        return []
+
+    def partition_count(self) -> int:
+        if self.workers == 1:
+            return PartitionedEngine.partition_count(self)
+        return len(self._routed)
+
+    def state_size(self) -> int:
+        if self.workers == 1:
+            return PartitionedEngine.state_size(self)
+        return sum(len(bucket) for bucket in self._routed.values())
+
+    # -- fan-out + deterministic merge ----------------------------------------------
+
+    def _flush(self) -> List[Match]:
+        if self.workers == 1:
+            return PartitionedEngine._flush(self)
+        payloads = [
+            (
+                self.pattern,
+                self.k,
+                self._purge_mode,
+                self._purge_interval,
+                self.late_policy,
+                bucket,
+            )
+            for bucket in self._routed.values()
+        ]
+        outcomes = self._map(payloads)
+        self._worker_stats = [stats for _, stats in outcomes]
+        merged: List[Match] = []
+        for matches, _ in outcomes:
+            merged.extend(matches)
+        merged.sort(key=lambda m: (m.end_ts, m.start_ts, m.key()))
+        emitted: List[Match] = []
+        for match in merged:
+            self._surface(match, emitted)
+        self._routed.clear()
+        return emitted
+
+    def _map(self, payloads: List) -> List:
+        if not payloads:
+            return []
+        pool_size = min(self.workers, len(payloads))
+        if self.backend == "process":
+            import multiprocessing
+
+            with multiprocessing.Pool(pool_size) as pool:
+                return pool.map(_run_partition, payloads)
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            return list(pool.map(_run_partition, payloads))
+
+    def merged_substats(self):
+        if self.workers == 1:
+            return PartitionedEngine.merged_substats(self)
+        from repro.core.stats import EngineStats
+
+        merged = EngineStats()
+        for stats in self._worker_stats:
+            merged.merge(stats)
+        return merged

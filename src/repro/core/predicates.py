@@ -64,7 +64,11 @@ class Attr(Term):
             raise QueryError(f"variable {self.var!r} is not bound") from None
         if self.name == "ts":
             return event.ts
-        return event[self.name]
+        try:
+            return event._attrs[self.name]
+        except KeyError:
+            # Re-enter the public accessor for its descriptive error.
+            return event[self.name]
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Attr) and (self.var, self.name) == (other.var, other.name)

@@ -100,6 +100,16 @@ class PurgePolicy:
     def reset(self) -> None:
         self._since_last = 0
 
+    def clone(self) -> "PurgePolicy":
+        """Fresh policy with the same schedule but private progress state.
+
+        ``due()`` mutates ``_since_last``, so a single LAZY policy object
+        shared across engines would interleave their purge schedules
+        (each engine advancing the other's countdown).  Engines therefore
+        clone whatever policy they are handed.
+        """
+        return PurgePolicy(self.mode, self.interval)
+
     def __repr__(self) -> str:
         if self.mode is PurgeMode.LAZY:
             return f"PurgePolicy(lazy, interval={self.interval})"

@@ -26,7 +26,7 @@ performs the exact checks.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.event import Event
 from repro.core.pattern import Pattern
@@ -58,10 +58,33 @@ class SequenceScanner:
         for step in pattern.positive_steps:
             staged = pattern.staged.get(step.var, [])
             self._local.append([p for p in staged if p.variables() == {step.var}])
+        # Pre-resolved dispatch: event type → ((step_index, var, local
+        # predicates), …) so admission is a single dict probe with the
+        # predicate lists already bound per step.  The batched engine
+        # paths iterate this directly instead of re-deriving it per
+        # arrival.
+        self._dispatch: Dict[str, Tuple[Tuple[int, str, Tuple[Predicate, ...]], ...]] = {}
+        for etype, steps in pattern.steps_of_type.items():
+            self._dispatch[etype] = tuple(
+                (
+                    index,
+                    pattern.positive_steps[index].var,
+                    tuple(self._local[index]),
+                )
+                for index in steps
+            )
 
     def relevant(self, event: Event) -> bool:
         """Does this event type play any role in the pattern?"""
         return event.etype in self.pattern.relevant_types
+
+    def dispatch(self) -> Dict[str, Tuple[Tuple[int, str, Tuple[Predicate, ...]], ...]]:
+        """Pre-resolved per-type admission table (read-only).
+
+        Maps event type → tuple of ``(step_index, step_var, local
+        predicates)`` triples, one per positive step of that type.
+        """
+        return self._dispatch
 
     def admissible_steps(self, event: Event) -> List[int]:
         """Positive step indices the event is admitted to.
@@ -70,12 +93,16 @@ class SequenceScanner:
         event is admitted independently per step, subject to that
         step's local predicates.
         """
-        steps = self.pattern.steps_of_type.get(event.etype)
-        if not steps:
+        entries = self._dispatch.get(event.etype)
+        if not entries:
             return []
         admitted = []
-        for index in steps:
-            if self._local_ok(index, event):
+        for index, var, predicates in entries:
+            if not predicates:
+                admitted.append(index)
+                continue
+            bindings = {var: event}
+            if all(p.evaluate(bindings) for p in predicates):
                 admitted.append(index)
         return admitted
 

@@ -59,11 +59,23 @@ class LatencySummary:
         )
 
 
+def percentile_index(count: int, q: float) -> int:
+    """Rank of the q-quantile in a sorted sample of *count* values.
+
+    The library-wide convention is ``ceil(q * n) - 1`` (clamped to the
+    valid range): the smallest rank covering at least a fraction ``q``
+    of the sample.  The floor rank ``int(q * n)`` overshoots by one on
+    small samples — q=0.5 over two values would pick the max instead of
+    the median — so every quantile consumer (here and
+    :class:`repro.streams.kslack.QuantileK`) goes through this helper.
+    """
+    return min(count - 1, max(0, math.ceil(q * count) - 1))
+
+
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
-    return float(sorted_values[index])
+    return float(sorted_values[percentile_index(len(sorted_values), q)])
 
 
 def arrival_latencies(

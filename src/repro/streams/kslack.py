@@ -27,8 +27,10 @@ import bisect
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.core.engine import LatePolicy
 from repro.core.errors import ConfigurationError
 from repro.core.event import Event
+from repro.metrics.latency import percentile_index
 
 
 class KEstimator:
@@ -130,10 +132,10 @@ class QuantileK(KEstimator):
     def current(self) -> int:
         if not self._sorted:
             return self.margin
-        index = min(
-            len(self._sorted) - 1,
-            int(self.quantile * len(self._sorted)),
-        )
+        # ceil(q*n)-1 rank, shared with metrics.latency: the floor rank
+        # int(q*n) picks one too high on small windows (q=0.5 over two
+        # delays would return the max, silently inflating K).
+        index = percentile_index(len(self._sorted), self.quantile)
         return self._sorted[index] + self.margin
 
 
@@ -155,6 +157,7 @@ class AdaptiveEngineFeeder:
         self.estimator = estimator
         self.training = training
         self.chosen_k: Optional[int] = None
+        self.violations: Optional[int] = None
 
     def run(self, engine_factory, arrival: List[Event]):
         """Returns the constructed engine after feeding the full stream."""
@@ -165,10 +168,29 @@ class AdaptiveEngineFeeder:
         self.chosen_k = self.estimator.current()
         engine = engine_factory(self.chosen_k)
         # The training prefix is replayed into the engine first so no
-        # results are lost; it cannot violate a bound derived from it
-        # under MaxObservedK, and violations under QuantileK are counted
-        # by the engine itself.
-        engine.feed_many(prefix)
+        # results are lost.  A quantile-derived K *expects* a fraction
+        # of its own training data to be late, so the replay must not
+        # run under LatePolicy.RAISE — the harness would crash on the
+        # very data the bound was fitted to.  The policy is restored for
+        # the remainder, where RAISE keeps its contractual meaning.
+        original_policy = getattr(engine, "late_policy", None)
+        try:
+            if original_policy is LatePolicy.RAISE:
+                engine.late_policy = LatePolicy.DROP
+            engine.feed_many(prefix)
+        finally:
+            if original_policy is LatePolicy.RAISE:
+                engine.late_policy = original_policy
+            self.violations = engine.stats.late_dropped
         engine.feed_many(rest)
         engine.close()
+        self.violations = engine.stats.late_dropped
         return engine
+
+    def report(self) -> dict:
+        """Outcome of the train-then-run protocol (None before ``run``)."""
+        return {
+            "training": self.training,
+            "chosen_k": self.chosen_k,
+            "violations": self.violations,
+        }

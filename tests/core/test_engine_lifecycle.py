@@ -79,10 +79,15 @@ class TestConfigurationValidation:
         with pytest.raises(ConfigurationError):
             OutOfOrderEngine(plain_seq2, k=2.5)
 
-    def test_purge_policy_passed_through(self, plain_seq2):
+    def test_purge_policy_cloned(self, plain_seq2):
+        # The engine keeps a private copy: due() mutates schedule state,
+        # so holding the caller's object would let two engines sharing a
+        # policy interleave their purge countdowns.
         policy = PurgePolicy.lazy(64)
         engine = OutOfOrderEngine(plain_seq2, k=0, purge=policy)
-        assert engine.purge_policy is policy
+        assert engine.purge_policy is not policy
+        assert engine.purge_policy.mode is policy.mode
+        assert engine.purge_policy.interval == policy.interval
 
     def test_defaults(self, plain_seq2):
         engine = OutOfOrderEngine(plain_seq2)

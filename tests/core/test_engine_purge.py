@@ -169,3 +169,24 @@ class TestSharedPolicyGuard:
         first = OutOfOrderEngine(plain_seq2, k=0)
         second = OutOfOrderEngine(plain_seq2, k=0)
         assert first.purge_policy is not second.purge_policy
+
+    def test_engines_sharing_one_policy_keep_independent_schedules(self, plain_seq2):
+        # Regression: PurgePolicy carries mutable countdown state, so two
+        # engines handed the same lazy policy used to interleave their
+        # schedules (each feed advancing the other's countdown).  Engines
+        # now clone the policy at construction.
+        shared = PurgePolicy.lazy(2)
+        first = OutOfOrderEngine(plain_seq2, k=0, purge=shared)
+        second = OutOfOrderEngine(plain_seq2, k=0, purge=shared)
+        assert first.purge_policy is not shared
+        assert second.purge_policy is not shared
+        assert first.purge_policy is not second.purge_policy
+        # Alternate feeds; with the shared counter the interleaving made
+        # one engine purge after its first event and the other never.
+        for ts in range(1, 5):
+            first.feed(Event("A", ts))
+            second.feed(Event("A", ts))
+        assert first.stats.purge_runs == 2
+        assert second.stats.purge_runs == 2
+        # The caller's object was never advanced behind its back.
+        assert shared._since_last == 0

@@ -10,7 +10,39 @@ from repro.metrics import (
     summarize_arrival_latency,
     summarize_occurrence_latency,
 )
+from repro.metrics.latency import percentile_index
 from helpers import make_events
+
+
+class TestPercentileIndex:
+    """ceil(q*n)-1 rank — the library-wide quantile convention."""
+
+    def test_single_element(self):
+        # n=1: every quantile must land on the only element.
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert percentile_index(1, q) == 0
+
+    def test_two_elements_median_is_lower(self):
+        # n=2, q=0.5: ceil(1)-1 = 0, the lower of the two.  The old
+        # floor rank int(0.5*2)=1 picked the max instead.
+        assert percentile_index(2, 0.5) == 0
+
+    def test_two_elements_top_quantile_is_max(self):
+        assert percentile_index(2, 1.0) == 1
+
+    def test_full_quantile_is_last_index(self):
+        for n in (1, 2, 3, 10, 100):
+            assert percentile_index(n, 1.0) == n - 1
+
+    def test_index_always_in_range(self):
+        for n in range(1, 20):
+            for q in (0.001, 0.25, 0.5, 0.9, 0.99, 1.0):
+                assert 0 <= percentile_index(n, q) < n
+
+    def test_monotone_in_quantile(self):
+        for n in (2, 5, 17):
+            ranks = [percentile_index(n, q) for q in (0.1, 0.5, 0.9, 1.0)]
+            assert ranks == sorted(ranks)
 
 
 class TestLatencySummary:

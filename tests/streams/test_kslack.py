@@ -112,6 +112,29 @@ class TestQuantileK:
         with pytest.raises(ConfigurationError):
             QuantileK(margin=-1)
 
+    def test_single_sample_any_quantile(self):
+        # n=1: every quantile must land on the only delay in the window.
+        for quantile in (0.01, 0.5, 1.0):
+            estimator = QuantileK(quantile=quantile, window=1)
+            estimator.observe(Event("A", 100))  # delay 0, then aged out
+            estimator.observe(Event("A", 1))    # delay 99, the sole sample
+            assert estimator.current() == 99
+
+    def test_two_samples_median_is_lower_delay(self):
+        # Regression: the floor rank int(q*n) returned the *max* for
+        # q=0.5 over two delays, silently inflating K.  ceil(q*n)-1
+        # picks the lower-median.
+        estimator = QuantileK(quantile=0.5, window=2)
+        estimator.observe(Event("A", 100))  # delay 0
+        estimator.observe(Event("A", 1))    # delay 99
+        assert estimator.current() == 0
+
+    def test_two_samples_full_quantile_is_max(self):
+        estimator = QuantileK(quantile=1.0, window=2)
+        estimator.observe(Event("A", 100))  # delay 0
+        estimator.observe(Event("A", 1))    # delay 99
+        assert estimator.current() == 99
+
 
 class TestAdaptiveEngineFeeder:
     def test_trains_then_runs(self, disordered, abc_pattern):
@@ -148,6 +171,33 @@ class TestAdaptiveEngineFeeder:
         )
         assert aggressive_estimate.chosen_k <= conservative.chosen_k
         assert engine.stats.late_dropped >= engine2.stats.late_dropped
+
+    def test_raise_policy_survives_training_replay(self, abc_pattern):
+        # Regression: a quantile-derived K expects a fraction of its own
+        # training data to be late, so replaying the prefix into a
+        # RAISE-policy engine used to crash the harness on the very data
+        # the bound was fitted to.  The replay now runs under DROP and
+        # surfaces the violations instead.
+        from repro.core.engine import LatePolicy
+
+        arrival = [Event("A", 0), Event("A", 10), Event("A", 1)]  # delay 9
+        feeder = AdaptiveEngineFeeder(QuantileK(quantile=0.5, window=3), training=3)
+
+        def factory(k):
+            return OutOfOrderEngine(abc_pattern, k=k, late_policy=LatePolicy.RAISE)
+
+        engine = feeder.run(factory, arrival)  # must not raise
+        assert feeder.chosen_k == 0  # median delay of [0, 0, 9]
+        assert feeder.violations == 1  # A@1 was late under K=0
+        assert engine.late_policy is LatePolicy.RAISE  # restored after replay
+
+    def test_report_surfaces_protocol_outcome(self, disordered, abc_pattern):
+        feeder = AdaptiveEngineFeeder(QuantileK(quantile=0.5, window=400), training=400)
+        assert feeder.report() == {"training": 400, "chosen_k": None, "violations": None}
+        feeder.run(lambda k: OutOfOrderEngine(abc_pattern, k=k), disordered)
+        report = feeder.report()
+        assert report["chosen_k"] == feeder.chosen_k
+        assert report["violations"] >= 0
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
