@@ -35,6 +35,7 @@ EXPERIMENTS = [
     ("e14", "bench_e14_kleene"),
     ("e15", "bench_e15_multiquery"),
     ("e16", "bench_e16_batch_parallel"),
+    ("e17", "bench_e17_recovery"),
 ]
 
 

@@ -28,6 +28,7 @@ from repro.core.partition import ParallelPartitionedEngine, PartitionedEngine
 from repro.core.pattern import Pattern
 from repro.core.purge import PurgePolicy
 from repro.core.reorder import ReorderingEngine
+from repro.core.shedding import ShedPolicy
 from repro.metrics.latency import summarize_arrival_latency, summarize_occurrence_latency
 from repro.metrics.quality import QualityReport, compare_keys
 
@@ -43,6 +44,7 @@ def make_engine(
     key: Optional[str] = None,
     workers: int = 1,
     backend: str = "thread",
+    shed: Optional[ShedPolicy] = None,
 ) -> Engine:
     """Build an engine by strategy name.
 
@@ -60,6 +62,11 @@ def make_engine(
             purge=purge,
             optimize_scan=optimize,
             optimize_construction=optimize,
+            shed=shed,
+        )
+    if shed is not None and name != "aggressive":
+        raise ConfigurationError(
+            f"load shedding is supported by the ooo/aggressive engines, not {name!r}"
         )
     if name == "inorder":
         return InOrderEngine(pattern, purge=purge)
@@ -74,6 +81,7 @@ def make_engine(
             purge=purge,
             optimize_scan=optimize,
             optimize_construction=optimize,
+            shed=shed,
         )
     if name == "partitioned":
         return PartitionedEngine(pattern, k=k, purge=purge, key=key)
@@ -134,6 +142,8 @@ def run_cell(
         "purged": engine.stats.instances_purged,
         "late_dropped": engine.stats.late_dropped,
         "revocations": engine.stats.revocations,
+        "shed": engine.stats.events_shed,
+        "quarantined": engine.stats.events_quarantined,
     }
     arrival_summary = summarize_arrival_latency(engine.emissions, arrival)
     occurrence_summary = summarize_occurrence_latency(engine.emissions)
@@ -142,7 +152,9 @@ def run_cell(
     cell["lat_occurrence_mean"] = occurrence_summary.mean
     cell["lat_occurrence_p99"] = occurrence_summary.p99
     if truth_keys is not None:
-        report: QualityReport = compare_keys(truth_keys, produced)
+        report: QualityReport = compare_keys(
+            truth_keys, produced, shed=engine.stats.events_shed
+        )
         cell["recall"] = report.recall
         cell["precision"] = report.precision
         cell["missed"] = report.missed

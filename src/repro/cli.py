@@ -22,10 +22,14 @@ import sys
 from typing import List, Optional
 
 from repro.bench import make_engine
+from repro.core.engine import ValidationPolicy
 from repro.core.errors import ReproError
 from repro.core.oracle import OfflineOracle
 from repro.core.parser import parse
 from repro.core.purge import PurgePolicy
+from repro.core.recovery import ResilientRunner
+from repro.core.shedding import ShedPolicy
+from repro.faultinject import CrashError, FaultInjector
 from repro.metrics import compare_keys, render_table, summarize_arrival_latency
 from repro.streams import (
     BurstDropoutModel,
@@ -77,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--verify", action="store_true", help="compare against the offline oracle")
     run.add_argument("--show-matches", type=int, default=5, metavar="N",
                      help="print the first N matches (0 = none)")
+    run.add_argument(
+        "--validate", default="raise", choices=["raise", "quarantine"],
+        help="admission policy for malformed events: reject the stream "
+             "(raise) or count-and-skip (quarantine)",
+    )
+    run.add_argument(
+        "--max-state", type=int, default=None, metavar="N",
+        help="shed oldest stored events when engine state exceeds N "
+             "(ooo/aggressive engines; degrades recall, bounds memory)",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="run under the resilient runner, checkpointing every N elements "
+             "(requires --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for wal.jsonl/checkpoint.bin/delivered.jsonl; if it "
+             "holds state from a crashed run, recovery happens first",
+    )
+    run.add_argument(
+        "--crash-at", type=int, default=None, metavar="I",
+        help="inject a crash at input element I (0-based), then recover "
+             "automatically and finish the run — a live fire drill of the "
+             "checkpoint/replay path",
+    )
 
     generate = commands.add_parser("generate", help="write a workload trace file")
     generate.add_argument(
@@ -124,19 +154,58 @@ def _command_run(args: argparse.Namespace) -> int:
     pattern = parse(args.query)
     elements = load_trace(args.trace)
     purge = _parse_purge(args.purge)
-    engine = make_engine(
-        args.engine, pattern, k=args.k, purge=purge,
-        workers=args.workers, backend=args.backend,
+    shed = (
+        ShedPolicy.drop_oldest(args.max_state) if args.max_state is not None else None
     )
-    if args.batch_size is None:
-        engine.feed_many(elements)
-    elif args.batch_size <= 0:
-        for element in elements:
-            engine.feed(element)
+
+    def build_engine():
+        engine = make_engine(
+            args.engine, pattern, k=args.k, purge=purge,
+            workers=args.workers, backend=args.backend, shed=shed,
+        )
+        if args.validate == "quarantine":
+            engine.validation = ValidationPolicy.QUARANTINE
+        return engine
+
+    resilient = args.checkpoint_every is not None or args.crash_at is not None
+    if resilient:
+        if args.checkpoint_dir is None:
+            raise ReproError("--checkpoint-every/--crash-at require --checkpoint-dir")
+        interval = args.checkpoint_every if args.checkpoint_every is not None else 1000
+        fault = (
+            FaultInjector(crash_at=[args.crash_at])
+            if args.crash_at is not None
+            else None
+        )
+        engine = build_engine()
+        runner = ResilientRunner(
+            engine, args.checkpoint_dir, checkpoint_every=interval, fault=fault
+        )
+        try:
+            runner.run(elements)
+        except CrashError as exc:
+            print(f"crash injected: {exc}")
+            print(f"recovering from {args.checkpoint_dir} ...")
+            engine = build_engine()
+            runner = ResilientRunner(
+                engine, args.checkpoint_dir, checkpoint_every=interval
+            )
+            print(
+                f"recovered: replayed {runner.replayed_elements} logged elements, "
+                f"resuming the trace at element {runner.seq}"
+            )
+            runner.run(elements)
     else:
-        for lo in range(0, len(elements), args.batch_size):
-            engine.feed_batch(elements[lo : lo + args.batch_size])
-    engine.close()
+        engine = build_engine()
+        if args.batch_size is None:
+            engine.feed_many(elements)
+        elif args.batch_size <= 0:
+            for element in elements:
+                engine.feed(element)
+        else:
+            for lo in range(0, len(elements), args.batch_size):
+                engine.feed_batch(elements[lo : lo + args.batch_size])
+        engine.close()
 
     from repro.core.event import Event
 
@@ -146,10 +215,14 @@ def _command_run(args: argparse.Namespace) -> int:
         ["events", len(events_only)],
         ["matches", len(engine.results)],
         ["late dropped", engine.stats.late_dropped],
+        ["quarantined", engine.stats.events_quarantined],
+        ["shed", engine.stats.events_shed],
         ["peak state", engine.stats.peak_state_size],
         ["mean latency (events)", round(latency.mean, 2)],
         ["p99 latency (events)", round(latency.p99, 2)],
     ]
+    if resilient:
+        rows.append(["checkpoints written", runner.checkpoints_written])
     if args.verify:
         truth = OfflineOracle(pattern).evaluate_set(events_only)
         produced = (
@@ -157,7 +230,7 @@ def _command_run(args: argparse.Namespace) -> int:
             if hasattr(engine, "net_result_set")
             else engine.result_set()
         )
-        report = compare_keys(truth, produced)
+        report = compare_keys(truth, produced, shed=engine.stats.events_shed)
         rows.append(["oracle matches", len(truth)])
         rows.append(["recall", round(report.recall, 4)])
         rows.append(["precision", round(report.precision, 4)])

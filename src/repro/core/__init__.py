@@ -6,14 +6,22 @@ The stable public surface of ``repro.core`` is re-exported here; see
 
 from repro.core.aggressive import AggressiveEngine, Revocation
 from repro.core.clock import StreamClock
-from repro.core.engine import EmissionRecord, Engine, LatePolicy, OutOfOrderEngine
+from repro.core.engine import (
+    EmissionRecord,
+    Engine,
+    LatePolicy,
+    OutOfOrderEngine,
+    ValidationPolicy,
+)
 from repro.core.errors import (
     ConfigurationError,
     DisorderBoundViolation,
     EngineStateError,
     ParseError,
     QueryError,
+    RecoveryError,
     ReproError,
+    SnapshotError,
     StreamError,
 )
 from repro.core.event import Event, Punctuation, StreamElement, is_event, sort_by_occurrence
@@ -45,8 +53,10 @@ from repro.core.predicates import (
     Predicate,
 )
 from repro.core.purge import PurgeMode, PurgePolicy
+from repro.core.recovery import ResilientRunner, clear_state
 from repro.core.registry import HeartbeatDriver, QueryRegistry
 from repro.core.reorder import ReorderingEngine
+from repro.core.shedding import ShedMode, ShedPolicy
 from repro.core.stats import EngineStats
 from repro.core.transformation import CompositeEventFactory
 
@@ -94,13 +104,20 @@ __all__ = [
     "QueryError",
     "QueryRegistry",
     "QueryPlan",
+    "RecoveryError",
     "ReorderingEngine",
     "ReproError",
+    "ResilientRunner",
     "Revocation",
+    "ShedMode",
+    "ShedPolicy",
+    "SnapshotError",
     "Step",
     "StreamClock",
     "StreamElement",
     "StreamError",
+    "ValidationPolicy",
+    "clear_state",
     "is_event",
     "oracle_matches",
     "parse",

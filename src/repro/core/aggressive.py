@@ -25,14 +25,15 @@ matches when they arrive; nothing previously emitted can be wrong).
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import List, NamedTuple, Optional, Tuple
 
+from repro.core import snapshot as snapshots
 from repro.core.engine import LatePolicy, OutOfOrderEngine
 from repro.core.event import Event
 from repro.core.negation import seal_point, violated
 from repro.core.pattern import Match, Pattern
 from repro.core.purge import PurgePolicy
+from repro.core.shedding import ShedPolicy
 
 
 class Revocation(NamedTuple):
@@ -60,6 +61,7 @@ class AggressiveEngine(OutOfOrderEngine):
         late_policy: LatePolicy = LatePolicy.DROP,
         optimize_scan: bool = True,
         optimize_construction: bool = True,
+        shed: Optional[ShedPolicy] = None,
     ):
         super().__init__(
             pattern,
@@ -68,13 +70,16 @@ class AggressiveEngine(OutOfOrderEngine):
             late_policy=late_policy,
             optimize_scan=optimize_scan,
             optimize_construction=optimize_construction,
+            shed=shed,
         )
         self.revocations: List[Revocation] = []
         self._fresh_revocations: List[Revocation] = []
         # Matches emitted while at least one bracket is unsealed, ordered
-        # by seal point so sealing drops a prefix.
+        # by seal point so sealing drops a prefix.  The tie-break is a
+        # plain int (not itertools.count) so it checkpoints: restoring it
+        # reproduces the heap order exactly.
         self._exposed: List[Tuple[int, int, Match]] = []
-        self._exposed_counter = itertools.count()
+        self._exposed_next = 0
         self._revoked_keys = set()
 
     # -- overridden routing --------------------------------------------------------
@@ -96,9 +101,8 @@ class AggressiveEngine(OutOfOrderEngine):
         emitted.append(match)
         point = seal_point(self.pattern, match)
         if point > self.clock.horizon():
-            heapq.heappush(
-                self._exposed, (point, next(self._exposed_counter), match)
-            )
+            heapq.heappush(self._exposed, (point, self._exposed_next, match))
+            self._exposed_next += 1
 
     def _release_ripe(self, emitted: List[Match]) -> None:
         # Conservative pending (used by Kleene matches) releases first...
@@ -161,6 +165,49 @@ class AggressiveEngine(OutOfOrderEngine):
             if bracket.admits(negative, match.events, self.pattern.within):
                 return True
         return False
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        encode = snapshots.encode_match
+        revocation_set = {id(r) for r in self._fresh_revocations}
+        state.update(
+            {
+                "revocations": [
+                    {"match": encode(r.match), "caused_by": r.caused_by}
+                    for r in self.revocations
+                ],
+                # Fresh (unconsumed) revocations are a suffix-free subset
+                # of `revocations`; store their indices, not copies.
+                "fresh": [
+                    i for i, r in enumerate(self.revocations) if id(r) in revocation_set
+                ],
+                "exposed": [
+                    (point, tie, encode(match))
+                    for point, tie, match in self._exposed
+                ],
+                "exposed_next": self._exposed_next,
+                "revoked_keys": sorted(self._revoked_keys),
+            }
+        )
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        super()._restore_state(state)
+        decode = self._decode_match
+        self.revocations = [
+            Revocation(decode(r["match"]), r["caused_by"])
+            for r in state["revocations"]
+        ]
+        self._fresh_revocations = [self.revocations[i] for i in state["fresh"]]
+        self._exposed = [
+            (point, tie, decode(encoded))
+            for point, tie, encoded in state["exposed"]
+        ]
+        heapq.heapify(self._exposed)
+        self._exposed_next = state["exposed_next"]
+        self._revoked_keys = {tuple(key) for key in state["revoked_keys"]}
 
     # -- consumption ---------------------------------------------------------------
 

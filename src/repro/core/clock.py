@@ -121,6 +121,19 @@ class StreamClock:
         self._punctuated = -1
         self._observations = 0
 
+    def snapshot_state(self) -> dict:
+        """Mutable clock state for engine checkpoints (K is config, not state)."""
+        return {
+            "max_ts": self._max_ts,
+            "punctuated": self._punctuated,
+            "observations": self._observations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._max_ts = state["max_ts"]
+        self._punctuated = state["punctuated"]
+        self._observations = state["observations"]
+
     def __repr__(self) -> str:
         k = "∞" if self._k is None else self._k
         return f"StreamClock(now={self._max_ts}, k={k}, horizon={self.horizon()})"

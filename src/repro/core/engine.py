@@ -31,14 +31,28 @@ import enum
 from bisect import bisect_left
 from typing import Iterable, List, NamedTuple, Optional, Set, Tuple
 
+from repro.core import snapshot as snapshots
 from repro.core.clock import StreamClock
-from repro.core.errors import ConfigurationError, DisorderBoundViolation, EngineStateError
-from repro.core.event import Event, Punctuation, StreamElement, is_event
+from repro.core.errors import (
+    ConfigurationError,
+    DisorderBoundViolation,
+    EngineStateError,
+    SnapshotError,
+)
+from repro.core.event import (
+    Event,
+    Punctuation,
+    StreamElement,
+    admission_error,
+    is_event,
+    malformed_reason,
+)
 from repro.core.negation import collect_kleene, PendingMatches, seal_point, violated
 from repro.core.pattern import Match, Pattern
 from repro.core.purge import PurgeMode, PurgePolicy, Purger
 from repro.core.scan import SequenceScanner
 from repro.core.construction import SequenceConstructor
+from repro.core.shedding import ShedMode, ShedPolicy
 from repro.core.stacks import Instance, NegativeStore, StackSet
 from repro.core.stats import EngineStats
 
@@ -50,6 +64,23 @@ class LatePolicy(enum.Enum):
     DROP = "drop"  #: count it (stats.late_dropped) and ignore it
     PROCESS = "process"  #: best effort — process anyway; results involving
     #: already-purged state are silently incomplete
+
+
+class ValidationPolicy(enum.Enum):
+    """What to do with a malformed stream element at admission.
+
+    Events built through :class:`~repro.core.event.Event` are validated
+    at construction, but elements deserialised from the network or a
+    damaged trace can carry negative/NaN/non-int timestamps or a missing
+    type — shapes that would silently corrupt timestamp-ordered state
+    (heap order in reorder buffers, bisect positions in sorted stacks).
+    Every engine therefore screens admissions
+    (:func:`~repro.core.event.malformed_reason`); this policy decides
+    the response.  Set ``engine.validation`` before feeding.
+    """
+
+    RAISE = "raise"  #: raise StreamError (default: fail fast)
+    QUARANTINE = "quarantine"  #: count in stats.events_quarantined and skip
 
 
 class EmissionRecord(NamedTuple):
@@ -73,6 +104,7 @@ class Engine:
         self.stats = EngineStats()
         self.results: List[Match] = []
         self.emissions: List[EmissionRecord] = []
+        self.validation = ValidationPolicy.RAISE
         self._arrival = 0
         self._closed = False
 
@@ -82,6 +114,11 @@ class Engine:
         """Process one stream element; returns matches emitted *now*."""
         if self._closed:
             raise EngineStateError(f"{type(self).__name__} is closed")
+        if malformed_reason(element) is not None:
+            if self.validation is ValidationPolicy.QUARANTINE:
+                self.stats.events_quarantined += 1
+                return []
+            raise admission_error(element)
         if is_event(element):
             self._arrival += 1
             self.stats.events_in += 1
@@ -141,6 +178,75 @@ class Engine:
         """Total retained state in instances/events (memory experiments)."""
         raise NotImplementedError
 
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise the engine's full deterministic state.
+
+        A fresh engine constructed with the *same configuration* (same
+        pattern, K, policies) and then :meth:`restore`\\ d from the blob
+        behaves byte-identically on every subsequent element — same
+        emissions, same counters, same state trajectory.  The pattern
+        itself is not serialised (predicates may be closures); only its
+        fingerprint travels, verified at restore time.
+        """
+        return snapshots.pack(self, self._snapshot_config(), self._snapshot_state())
+
+    def restore(self, blob: bytes) -> None:
+        """Load state from :meth:`snapshot`.
+
+        Raises :class:`~repro.core.errors.SnapshotError` when the blob
+        is corrupt or was taken from a different engine class or
+        configuration.
+        """
+        self._restore_state(snapshots.unpack(self, blob))
+
+    def _snapshot_config(self) -> dict:
+        """Construction-time identity, verified (not restored) on restore."""
+        return {
+            "pattern": snapshots.pattern_fingerprint(self.pattern),
+            "validation": self.validation.value,
+        }
+
+    def _snapshot_state(self) -> dict:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshot/restore"
+        )
+
+    def _restore_state(self, state: dict) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshot/restore"
+        )
+
+    def _base_state(self) -> dict:
+        """State every engine shares: flow counters and the emission history."""
+        return {
+            "arrival": self._arrival,
+            "closed": self._closed,
+            "stats": self.stats.as_dict(),
+            "results": [snapshots.encode_match(m) for m in self.results],
+            "emissions": [(r.emitted_seq, r.emitted_clock) for r in self.emissions],
+        }
+
+    def _restore_base(self, state: dict) -> None:
+        self._arrival = state["arrival"]
+        self._closed = state["closed"]
+        self.stats.restore_from(state["stats"])
+        self.results = [self._decode_match(s) for s in state["results"]]
+        if len(state["emissions"]) != len(self.results):
+            raise SnapshotError(
+                "snapshot is internally inconsistent: "
+                f"{len(state['emissions'])} emission records for "
+                f"{len(self.results)} results"
+            )
+        self.emissions = [
+            EmissionRecord(match, seq, clk)
+            for match, (seq, clk) in zip(self.results, state["emissions"])
+        ]
+
+    def _decode_match(self, encoded: dict) -> Match:
+        return snapshots.decode_match(self.pattern, encoded)
+
     # -- subclass hooks ----------------------------------------------------------
 
     def _process_event(self, event: Event) -> List[Match]:
@@ -176,6 +282,12 @@ class OutOfOrderEngine(Engine):
         Handling of K-promise violations (default DROP).
     optimize_scan / optimize_construction:
         The paper's CPU optimisations; disable for ablation (E6).
+    shed:
+        Optional :class:`~repro.core.shedding.ShedPolicy`: when the
+        retained store size (stacks + side stores) exceeds the policy's
+        bound after an element is processed, stored elements are shed —
+        lossy but bounded degradation instead of unbounded growth.  Shed
+        casualties are counted in ``stats.events_shed``.
     """
 
     def __init__(
@@ -186,12 +298,16 @@ class OutOfOrderEngine(Engine):
         late_policy: LatePolicy = LatePolicy.DROP,
         optimize_scan: bool = True,
         optimize_construction: bool = True,
+        shed: Optional[ShedPolicy] = None,
     ):
         super().__init__(pattern)
         if not isinstance(late_policy, LatePolicy):
             raise ConfigurationError(f"late_policy must be a LatePolicy, got {late_policy!r}")
+        if shed is not None and not isinstance(shed, ShedPolicy):
+            raise ConfigurationError(f"shed must be a ShedPolicy, got {shed!r}")
         self.clock = StreamClock(k)
         self.late_policy = late_policy
+        self.shed = shed
         # Cloned: due() mutates schedule state, so engines must not share
         # the caller's policy object (see PurgePolicy.clone).
         self.purge_policy = (purge if purge is not None else PurgePolicy.eager()).clone()
@@ -214,6 +330,107 @@ class OutOfOrderEngine(Engine):
             + self.kleene_store.size()
             + len(self.pending)
         )
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def _snapshot_config(self) -> dict:
+        config = super()._snapshot_config()
+        config.update(
+            {
+                "k": self.clock.k,
+                "late_policy": self.late_policy.value,
+                "purge": (self.purge_policy.mode.value, self.purge_policy.interval),
+                "optimize_scan": self.scanner.optimize,
+                "optimize_construction": self.constructor.optimize,
+                "shed": self.shed.fingerprint() if self.shed is not None else None,
+            }
+        )
+        return config
+
+    def _snapshot_state(self) -> dict:
+        state = self._base_state()
+        state.update(
+            {
+                "clock": self.clock.snapshot_state(),
+                "purge_policy": self.purge_policy.snapshot_state(),
+                "stacks": self.stacks.snapshot_state(),
+                "negatives": self.negatives.snapshot_state(),
+                "kleene": self.kleene_store.snapshot_state(),
+                "pending": self.pending.snapshot_state(snapshots.encode_match),
+            }
+        )
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        self._restore_base(state)
+        self.clock.restore_state(state["clock"])
+        self.purge_policy.restore_state(state["purge_policy"])
+        self.stacks.restore_state(state["stacks"])
+        self.negatives.restore_state(state["negatives"])
+        self.kleene_store.restore_state(state["kleene"])
+        self.pending.restore_state(state["pending"], self._decode_match)
+
+    # -- load shedding ------------------------------------------------------------
+
+    def _shed_overflow(self) -> None:
+        """Drop stored elements until the configured state bound holds.
+
+        Runs after each processed element when a :class:`ShedPolicy` is
+        configured.  Purely a function of retained state and the policy,
+        so shed engines stay deterministic (and snapshot-restorable).
+        Pending matches are results-in-waiting, not reconstructible
+        store state, so they are never shed and do not count against the
+        bound.
+        """
+        policy = self.shed
+        stored = self.stacks.size() + self.negatives.size() + self.kleene_store.size()
+        excess = stored - policy.max_state
+        if excess <= 0:
+            return
+        shed = 0
+        if policy.mode is ShedMode.DROP_BY_TYPE:
+            for victim in policy.victims:
+                if excess <= 0:
+                    break
+                for index, step in enumerate(self.pattern.positive_steps):
+                    if excess > 0 and step.etype == victim:
+                        dropped = self.stacks[index].drop_oldest(excess)
+                        shed += dropped
+                        excess -= dropped
+                if excess > 0:
+                    dropped = self.negatives.drop_oldest(victim, excess)
+                    shed += dropped
+                    excess -= dropped
+                if excess > 0:
+                    dropped = self.kleene_store.drop_oldest(victim, excess)
+                    shed += dropped
+                    excess -= dropped
+        # DROP_OLDEST, and the fallback when the victim types alone
+        # cannot meet the bound: repeatedly drop the globally oldest
+        # stored element (closest to its purge threshold, so the least
+        # expected future-match loss).
+        while excess > 0:
+            best_key = None
+            victim_stack = None
+            victim_store = None
+            victim_type = None
+            for stack in self.stacks:
+                if len(stack) and (best_key is None or stack._keys[0] < best_key):
+                    best_key = stack._keys[0]
+                    victim_stack, victim_store = stack, None
+            for store in (self.negatives, self.kleene_store):
+                entry = store.oldest_type()
+                if entry is not None and (best_key is None or entry[0] < best_key):
+                    best_key, victim_stack = entry[0], None
+                    victim_store, victim_type = store, entry[1]
+            if best_key is None:
+                break
+            if victim_stack is not None:
+                shed += victim_stack.drop_oldest(1)
+            else:
+                shed += victim_store.drop_oldest(victim_type, 1)
+            excess -= 1
+        self.stats.events_shed += shed
 
     # -- processing ----------------------------------------------------------------
 
@@ -266,6 +483,8 @@ class OutOfOrderEngine(Engine):
                 self.clock.horizon(), self.stacks, self.negatives,
                 self.stats, kleene=self.kleene_store,
             )
+        if self.shed is not None:
+            self._shed_overflow()
         return emitted
 
     def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
@@ -277,6 +496,8 @@ class OutOfOrderEngine(Engine):
                 self.clock.horizon(), self.stacks, self.negatives,
                 self.stats, kleene=self.kleene_store,
             )
+        if self.shed is not None:
+            self._shed_overflow()
         return emitted
 
     # -- batched fast path ---------------------------------------------------------
@@ -323,6 +544,13 @@ class OutOfOrderEngine(Engine):
         """
         if self._closed:
             raise EngineStateError(f"{type(self).__name__} is closed")
+        if self.shed is not None:
+            # Shedding re-checks the state bound after every element —
+            # bookkeeping the fused loop does not model.  Take the
+            # reference loop (same precedent as the spill-backed
+            # reorder buffer); overload survival, not throughput, is
+            # what a shedding configuration is optimising for.
+            return Engine.feed_batch(self, elements)
         emitted: List[Match] = []
         stats = self.stats
         clock = self.clock
@@ -358,6 +586,8 @@ class OutOfOrderEngine(Engine):
         purge_lazy = purge_mode is PurgeMode.LAZY
         purge_interval = purge_policy.interval
         since_last = purge_policy._since_last
+        quarantine = self.validation is ValidationPolicy.QUARANTINE
+        quarantined = 0
         # Subclass hooks: pay the per-event call only when overridden.
         post_event = (
             self._post_event
@@ -387,9 +617,22 @@ class OutOfOrderEngine(Engine):
         try:
             for element in elements:
                 if isinstance(element, Event):
+                    ts = element.ts
+                    etype = element.etype
+                    # Inlined admission screen (mirrors malformed_reason;
+                    # feed() applies the same check per element).
+                    if (
+                        type(ts) is not int
+                        or ts < 0
+                        or not isinstance(etype, str)
+                        or not etype
+                    ):
+                        if quarantine:
+                            quarantined += 1
+                            continue
+                        raise admission_error(element)
                     self._arrival += 1
                     events_in += 1
-                    ts = element.ts
                     was_late = ts <= horizon
                     if was_late:
                         if raise_late:
@@ -411,7 +654,6 @@ class OutOfOrderEngine(Engine):
                     elif ts < max_ts:
                         out_of_order += 1
 
-                    etype = element.etype
                     if etype not in relevant_types:
                         events_ignored += 1
                     else:
@@ -520,6 +762,11 @@ class OutOfOrderEngine(Engine):
                     if post_event is not None:
                         post_event(element)
                 else:
+                    if malformed_reason(element) is not None:
+                        if quarantine:
+                            quarantined += 1
+                            continue
+                        raise admission_error(element)
                     # Punctuations are rare: run the exact per-element
                     # path, then resynchronise the hoisted locals.
                     stats.punctuations_in += 1
@@ -540,6 +787,7 @@ class OutOfOrderEngine(Engine):
             clock._observations += observations
             purge_policy._since_last = since_last
             stats.peak_state_size = peak
+            stats.events_quarantined += quarantined
             stats.events_in += events_in
             stats.events_admitted += events_admitted
             stats.events_ignored += events_ignored

@@ -71,3 +71,24 @@ class EngineStateError(ReproError):
 
 class ConfigurationError(ReproError):
     """Engine or substrate configuration is inconsistent."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot blob cannot be restored into this engine.
+
+    Raised when the blob is corrupt, was produced by a different engine
+    class, or was produced under a different configuration (pattern, K,
+    purge schedule, …).  Restoring state into a differently-configured
+    engine would silently change semantics, so the mismatch is fatal.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery found inconsistent durable state.
+
+    Raised when the write-ahead log, checkpoint and delivered-output log
+    disagree — e.g. a replayed match does not reproduce the logged
+    emission it is supposed to dedup against.  Indicates corruption or a
+    non-deterministic engine, both of which make exactly-once delivery
+    impossible to guarantee.
+    """

@@ -186,6 +186,46 @@ def is_event(element: StreamElement) -> bool:
     return isinstance(element, Event)
 
 
+def malformed_reason(element: object) -> Optional[str]:
+    """Why *element* must be rejected at admission, or None when well-formed.
+
+    :class:`Event` validates at construction, but elements arriving from
+    the network, from deserialised traces, or forged through
+    ``object.__new__`` (the fault-injection harness does exactly this)
+    can carry a NaN/float/negative timestamp or a missing type.  Such an
+    element would silently corrupt timestamp-ordered structures — heap
+    order in reorder buffers, bisect positions in the sorted stacks — so
+    engines screen every admission with this check.
+
+    Note ``type(ts) is not int`` rather than ``isinstance``: it rejects
+    ``bool`` and every float (NaN included) in one comparison.
+    """
+    if isinstance(element, Event):
+        ts = element.ts
+        if type(ts) is not int:
+            return f"occurrence timestamp must be an int, got {ts!r}"
+        if ts < 0:
+            return f"occurrence timestamp must be >= 0, got {ts}"
+        etype = element.etype
+        if not isinstance(etype, str) or not etype:
+            return f"event type must be a non-empty string, got {etype!r}"
+        return None
+    if isinstance(element, Punctuation):
+        ts = element.ts
+        if type(ts) is not int or ts < 0:
+            return f"punctuation timestamp must be an int >= 0, got {ts!r}"
+        return None
+    return f"not a stream element: {type(element).__name__}"
+
+
+def admission_error(element: object) -> StreamError:
+    """The :class:`StreamError` an engine raises for a malformed element."""
+    return StreamError(
+        f"malformed stream element rejected at admission: "
+        f"{malformed_reason(element)}"
+    )
+
+
 def sort_by_occurrence(events: Iterable[Event]) -> list:
     """Return *events* sorted by occurrence time, ties broken by identity.
 

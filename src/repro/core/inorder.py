@@ -40,10 +40,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core import snapshot as snapshots
 from repro.core.clock import StreamClock
-from repro.core.engine import Engine
+from repro.core.engine import Engine, ValidationPolicy
 from repro.core.errors import EngineStateError
-from repro.core.event import Event, Punctuation, StreamElement
+from repro.core.event import (
+    Event,
+    Punctuation,
+    StreamElement,
+    admission_error,
+    malformed_reason,
+)
 from repro.core.negation import collect_kleene, PendingMatches, seal_point, violated
 from repro.core.pattern import Match, Pattern
 from repro.core.purge import PurgeMode, PurgePolicy, Purger
@@ -118,6 +125,42 @@ class InOrderEngine(Engine):
             + self.kleene_store.size()
             + len(self.pending)
         )
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def _snapshot_config(self) -> dict:
+        config = super()._snapshot_config()
+        config["purge"] = (self.purge_policy.mode.value, self.purge_policy.interval)
+        return config
+
+    def _snapshot_state(self) -> dict:
+        state = self._base_state()
+        state.update(
+            {
+                "clock": self.clock.snapshot_state(),
+                "purge_policy": self.purge_policy.snapshot_state(),
+                "stacks": [
+                    [(i.event, i.arrival, i.rip) for i in stack]
+                    for stack in self.stacks
+                ],
+                "negatives": self.negatives.snapshot_state(),
+                "kleene": self.kleene_store.snapshot_state(),
+                "pending": self.pending.snapshot_state(snapshots.encode_match),
+            }
+        )
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        self._restore_base(state)
+        self.clock.restore_state(state["clock"])
+        self.purge_policy.restore_state(state["purge_policy"])
+        self.stacks = [
+            [_RipInstance(event, arrival, rip) for event, arrival, rip in stack]
+            for stack in state["stacks"]
+        ]
+        self.negatives.restore_state(state["negatives"])
+        self.kleene_store.restore_state(state["kleene"])
+        self.pending.restore_state(state["pending"], self._decode_match)
 
     # -- processing -------------------------------------------------------------
 
@@ -212,6 +255,8 @@ class InOrderEngine(Engine):
         purge_interval = purge_policy.interval
         since_last = purge_policy._since_last
 
+        quarantine = self.validation is ValidationPolicy.QUARANTINE
+        quarantined = 0
         max_ts = clock._max_ts
         horizon = clock.horizon()
         observations = 0
@@ -230,10 +275,22 @@ class InOrderEngine(Engine):
         try:
             for element in elements:
                 if isinstance(element, Event):
+                    ts = element.ts
+                    etype = element.etype
+                    # Inlined admission screen (mirrors malformed_reason).
+                    if (
+                        type(ts) is not int
+                        or ts < 0
+                        or not isinstance(etype, str)
+                        or not etype
+                    ):
+                        if quarantine:
+                            quarantined += 1
+                            continue
+                        raise admission_error(element)
                     self._arrival += 1
                     events_in += 1
                     observations += 1
-                    ts = element.ts
                     if ts > max_ts:
                         max_ts = ts
                         clock._max_ts = ts
@@ -242,7 +299,6 @@ class InOrderEngine(Engine):
                             horizon = advanced
                     elif ts < max_ts:
                         out_of_order += 1
-                    etype = element.etype
                     if etype not in relevant_types:
                         events_ignored += 1
                     else:
@@ -315,6 +371,11 @@ class InOrderEngine(Engine):
                     if size_now > peak:
                         peak = size_now
                 else:
+                    if malformed_reason(element) is not None:
+                        if quarantine:
+                            quarantined += 1
+                            continue
+                        raise admission_error(element)
                     # Punctuations take the per-element path; sync the
                     # hoisted locals across the call.
                     stats.punctuations_in += 1
@@ -336,6 +397,7 @@ class InOrderEngine(Engine):
             clock._observations += observations
             purge_policy._since_last = since_last
             stats.peak_state_size = peak
+            stats.events_quarantined += quarantined
             stats.events_in += events_in
             stats.events_admitted += events_admitted
             stats.events_ignored += events_ignored

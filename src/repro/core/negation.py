@@ -36,7 +36,6 @@ first, which is why the engine seals before purging.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import List, Optional, Tuple
 
 from repro.core.pattern import Match, Pattern
@@ -121,17 +120,21 @@ class PendingMatches:
     FIFO among equal seal points, so output order is reproducible.
     """
 
-    __slots__ = ("_heap", "_counter")
+    __slots__ = ("_heap", "_next")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Match]] = []
-        self._counter = itertools.count()
+        # A plain int (not itertools.count) so the tie-break sequence is
+        # part of the engine's checkpointable state: restoring it exactly
+        # reproduces emission order among equal seal points.
+        self._next = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def add(self, match: Match, point: int) -> None:
-        heapq.heappush(self._heap, (point, next(self._counter), match))
+        heapq.heappush(self._heap, (point, self._next, match))
+        self._next += 1
 
     def release(self, horizon: int) -> List[Match]:
         """Matches whose seal point ``<= horizon``, in seal order."""
@@ -149,3 +152,19 @@ class PendingMatches:
     def earliest_seal(self) -> Optional[int]:
         """Smallest pending seal point, or None when empty."""
         return self._heap[0][0] if self._heap else None
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot_state(self, encode) -> dict:
+        """Heap entries with matches passed through *encode* (see snapshot.py)."""
+        return {
+            "next": self._next,
+            "heap": [(point, tie, encode(match)) for point, tie, match in self._heap],
+        }
+
+    def restore_state(self, state: dict, decode) -> None:
+        self._heap = [
+            (point, tie, decode(encoded)) for point, tie, encoded in state["heap"]
+        ]
+        heapq.heapify(self._heap)
+        self._next = state["next"]

@@ -147,13 +147,7 @@ class PartitionedEngine(Engine):
     def _sub_engine(self, value: Any) -> OutOfOrderEngine:
         engine = self._partitions.get(value)
         if engine is None:
-            if self._purge_mode is None:
-                purge = None
-            else:
-                purge = PurgePolicy(self._purge_mode, self._purge_interval)
-            engine = OutOfOrderEngine(
-                self.pattern, k=self.k, purge=purge, late_policy=self.late_policy
-            )
+            engine = self._blank_sub_engine()
             # Catch the new partition up to the global horizon so its
             # first events are judged against the same promise.
             if self._last_broadcast >= 0:
@@ -163,6 +157,62 @@ class PartitionedEngine(Engine):
 
     def state_size(self) -> int:
         return sum(engine.state_size() for engine in self._partitions.values())
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def _snapshot_config(self) -> dict:
+        config = super()._snapshot_config()
+        config.update(
+            {
+                "k": self.k,
+                "late_policy": self.late_policy.value,
+                "purge": (self._purge_mode.value if self._purge_mode else None,
+                          self._purge_interval),
+                "key": self.key,
+                "punctuate_every": self.punctuate_every,
+            }
+        )
+        return config
+
+    def _snapshot_state(self) -> dict:
+        state = self._base_state()
+        state.update(
+            {
+                "clock": self.clock.snapshot_state(),
+                "since_punctuation": self._since_punctuation,
+                "last_broadcast": self._last_broadcast,
+                # Insertion order is part of the deterministic behaviour
+                # (punctuation broadcasts iterate it), so a list of
+                # pairs, not a dict re-keyed on restore.
+                "partitions": [
+                    (value, sub._snapshot_state())
+                    for value, sub in self._partitions.items()
+                ],
+            }
+        )
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        self._restore_base(state)
+        self.clock.restore_state(state["clock"])
+        self._since_punctuation = state["since_punctuation"]
+        self._last_broadcast = state["last_broadcast"]
+        self._partitions = {}
+        for value, sub_state in state["partitions"]:
+            sub = self._blank_sub_engine()
+            sub._restore_state(sub_state)
+            self._partitions[value] = sub
+
+    def _blank_sub_engine(self) -> OutOfOrderEngine:
+        """A sub-engine as :meth:`_sub_engine` builds it, minus the catch-up
+        punctuation (the restored state already contains its effect)."""
+        if self._purge_mode is None:
+            purge = None
+        else:
+            purge = PurgePolicy(self._purge_mode, self._purge_interval)
+        return OutOfOrderEngine(
+            self.pattern, k=self.k, purge=purge, late_policy=self.late_policy
+        )
 
     # -- processing ------------------------------------------------------------------
 
@@ -375,6 +425,42 @@ class ParallelPartitionedEngine(PartitionedEngine):
         if self.workers == 1:
             return PartitionedEngine.state_size(self)
         return sum(len(bucket) for bucket in self._routed.values())
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def _snapshot_config(self) -> dict:
+        config = super()._snapshot_config()
+        # Worker count and pool backend never change results (merge is
+        # deterministic), but serial vs. deferred is a different state
+        # shape, so only that distinction is part of the fingerprint.
+        config["parallel_variant"] = "serial" if self.workers == 1 else "deferred"
+        return config
+
+    def _snapshot_state(self) -> dict:
+        if self.workers == 1:
+            return PartitionedEngine._snapshot_state(self)
+        state = self._base_state()
+        state.update(
+            {
+                "clock": self.clock.snapshot_state(),
+                "since_punctuation": self._since_punctuation,
+                "last_broadcast": self._last_broadcast,
+                "routed": [
+                    (value, list(bucket)) for value, bucket in self._routed.items()
+                ],
+            }
+        )
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        if self.workers == 1:
+            PartitionedEngine._restore_state(self, state)
+            return
+        self._restore_base(state)
+        self.clock.restore_state(state["clock"])
+        self._since_punctuation = state["since_punctuation"]
+        self._last_broadcast = state["last_broadcast"]
+        self._routed = {value: list(bucket) for value, bucket in state["routed"]}
 
     # -- fan-out + deterministic merge ----------------------------------------------
 

@@ -100,6 +100,13 @@ class PurgePolicy:
     def reset(self) -> None:
         self._since_last = 0
 
+    def snapshot_state(self) -> dict:
+        """Mutable schedule progress (mode/interval are config, not state)."""
+        return {"since_last": self._since_last}
+
+    def restore_state(self, state: dict) -> None:
+        self._since_last = state["since_last"]
+
     def clone(self) -> "PurgePolicy":
         """Fresh policy with the same schedule but private progress state.
 

@@ -27,9 +27,15 @@ import heapq
 from typing import Iterable, List, Optional
 
 from repro.core.clock import StreamClock
-from repro.core.engine import Engine
+from repro.core.engine import Engine, ValidationPolicy
 from repro.core.errors import ConfigurationError, EngineStateError
-from repro.core.event import Event, Punctuation, StreamElement
+from repro.core.event import (
+    Event,
+    Punctuation,
+    StreamElement,
+    admission_error,
+    malformed_reason,
+)
 from repro.core.inorder import InOrderEngine
 from repro.core.pattern import Match, Pattern
 from repro.core.purge import PurgePolicy
@@ -52,6 +58,12 @@ class ReorderingEngine(Engine):
         memory and spills overflow to disk segments
         (:class:`repro.streams.spill.SpillingReorderBuffer`) — the
         persistent-storage support for spiky workloads.
+    max_spilled:
+        Optional disk bound for the spill tier (requires
+        *memory_limit*): when spilled segments exceed this many events,
+        the oldest segments are shed — counted in ``stats.events_shed``
+        — so a runaway burst degrades results instead of filling the
+        disk.
     """
 
     def __init__(
@@ -60,11 +72,16 @@ class ReorderingEngine(Engine):
         k: int,
         purge: Optional[PurgePolicy] = None,
         memory_limit: Optional[int] = None,
+        max_spilled: Optional[int] = None,
     ):
         super().__init__(pattern)
         if not isinstance(k, int) or isinstance(k, bool) or k < 0:
             raise ConfigurationError(
                 f"ReorderingEngine requires a concrete disorder bound K >= 0, got {k!r}"
+            )
+        if max_spilled is not None and memory_limit is None:
+            raise ConfigurationError(
+                "max_spilled bounds the disk spill tier; it requires memory_limit"
             )
         self.k = k
         self.clock = StreamClock(k)
@@ -74,7 +91,9 @@ class ReorderingEngine(Engine):
         if memory_limit is not None:
             from repro.streams.spill import SpillingReorderBuffer
 
-            self._spill = SpillingReorderBuffer(memory_limit=memory_limit)
+            self._spill = SpillingReorderBuffer(
+                memory_limit=memory_limit, max_disk_events=max_spilled
+            )
         self.buffer_peak = 0
 
     # -- state ----------------------------------------------------------------
@@ -94,6 +113,52 @@ class ReorderingEngine(Engine):
             return self._spill.memory_size()
         return len(self._buffer)
 
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def _snapshot_config(self) -> dict:
+        config = super()._snapshot_config()
+        config.update(
+            {
+                "k": self.k,
+                "memory_limit": (
+                    self._spill.memory_limit if self._spill is not None else None
+                ),
+                "max_spilled": (
+                    self._spill.max_disk_events if self._spill is not None else None
+                ),
+                "inner_purge": (
+                    self.inner.purge_policy.mode.value,
+                    self.inner.purge_policy.interval,
+                ),
+            }
+        )
+        return config
+
+    def _snapshot_state(self) -> dict:
+        state = self._base_state()
+        state.update(
+            {
+                "clock": self.clock.snapshot_state(),
+                "buffer": [entry[2] for entry in self._buffer],
+                "buffer_peak": self.buffer_peak,
+                "spill": (
+                    self._spill.snapshot_state() if self._spill is not None else None
+                ),
+                "inner": self.inner._snapshot_state(),
+            }
+        )
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        self._restore_base(state)
+        self.clock.restore_state(state["clock"])
+        self._buffer = [(e.ts, e.eid, e) for e in state["buffer"]]
+        heapq.heapify(self._buffer)
+        self.buffer_peak = state["buffer_peak"]
+        if self._spill is not None and state["spill"] is not None:
+            self._spill.restore_state(state["spill"])
+        self.inner._restore_state(state["inner"])
+
     # -- processing -------------------------------------------------------------
 
     def _process_event(self, event: Event) -> List[Match]:
@@ -106,6 +171,9 @@ class ReorderingEngine(Engine):
             self.stats.out_of_order_events += 1
         if self._spill is not None:
             self._spill.push(event)
+            # Disk-bound shedding happens inside the spill tier; mirror
+            # its cumulative casualty count into the engine's stats.
+            self.stats.events_shed = self._spill.shed_events
         else:
             heapq.heappush(self._buffer, (event.ts, event.eid, event))
         if self.buffer_size() > self.buffer_peak:
@@ -143,6 +211,8 @@ class ReorderingEngine(Engine):
         inner_state_size = self.inner.state_size
         relay = self._relay
         k = self.k
+        quarantine = self.validation is ValidationPolicy.QUARANTINE
+        quarantined = 0
         max_ts = clock._max_ts
         horizon = clock.horizon()
         observations = 0
@@ -154,9 +224,23 @@ class ReorderingEngine(Engine):
         try:
             for element in elements:
                 if isinstance(element, Event):
+                    ts = element.ts
+                    etype = element.etype
+                    # Inlined admission screen (mirrors malformed_reason):
+                    # a NaN/float timestamp would silently corrupt the
+                    # heap order this engine's correctness rests on.
+                    if (
+                        type(ts) is not int
+                        or ts < 0
+                        or not isinstance(etype, str)
+                        or not etype
+                    ):
+                        if quarantine:
+                            quarantined += 1
+                            continue
+                        raise admission_error(element)
                     self._arrival += 1
                     events_in += 1
-                    ts = element.ts
                     if ts <= horizon:
                         # Promise broken: releasing now would feed the
                         # inner engine out of order, so drop (see
@@ -181,6 +265,11 @@ class ReorderingEngine(Engine):
                             released.append(heappop(buffer)[2])
                         emitted.extend(relay(inner_feed_batch(released)))
                 else:
+                    if malformed_reason(element) is not None:
+                        if quarantine:
+                            quarantined += 1
+                            continue
+                        raise admission_error(element)
                     stats.punctuations_in += 1
                     clock._observations += observations
                     observations = 0
@@ -196,6 +285,7 @@ class ReorderingEngine(Engine):
             clock._observations += observations
             self.buffer_peak = buffer_peak
             stats.peak_state_size = peak
+            stats.events_quarantined += quarantined
             stats.events_in += events_in
             stats.late_dropped += late_dropped
             stats.out_of_order_events += out_of_order

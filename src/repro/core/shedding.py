@@ -1,0 +1,91 @@
+"""Load shedding: bounded degradation instead of unbounded growth.
+
+An engine whose purge horizon cannot keep up with admission — K too
+large for the arrival rate, a stuck upstream clock, a failure burst —
+grows state without bound and eventually dies of memory exhaustion,
+taking every result with it.  Shedding trades a *measured* amount of
+result quality for survival: when retained state crosses a configured
+bound, the engine drops stored elements by an explicit policy and
+counts every casualty in ``stats.events_shed`` so the loss is visible
+in quality reports (``repro.metrics.quality`` carries the counter).
+
+Two policies, mirroring the classic stream-load-shedding taxonomy:
+
+* **DROP_OLDEST** — shed the oldest retained elements across all
+  stores.  Oldest state is closest to its purge threshold anyway, so
+  this minimises the expected number of future matches lost.
+* **DROP_BY_TYPE** — shed configured *victim* event types first (e.g. a
+  high-volume sensor type that contributes least to results), falling
+  back to drop-oldest only if the victims alone cannot meet the bound.
+
+Shedding is deterministic — a pure function of the retained state and
+the bound — so shed engines remain replayable and checkpointable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+class ShedMode(enum.Enum):
+    """Which retained elements are sacrificed when the bound is crossed."""
+
+    DROP_OLDEST = "drop-oldest"
+    DROP_BY_TYPE = "drop-by-type"
+
+
+class ShedPolicy:
+    """Configured overload response; construct via the class methods.
+
+    >>> ShedPolicy.drop_oldest(max_state=10_000)
+    ShedPolicy(drop-oldest, max_state=10000)
+    >>> ShedPolicy.drop_by_type(5_000, victims=("TELEMETRY",))
+    ShedPolicy(drop-by-type, max_state=5000, victims=('TELEMETRY',))
+    """
+
+    __slots__ = ("mode", "max_state", "victims")
+
+    def __init__(
+        self,
+        max_state: int,
+        mode: ShedMode = ShedMode.DROP_OLDEST,
+        victims: Tuple[str, ...] = (),
+    ):
+        if not isinstance(max_state, int) or isinstance(max_state, bool) or max_state < 1:
+            raise ConfigurationError(
+                f"shed bound max_state must be a positive int, got {max_state!r}"
+            )
+        if not isinstance(mode, ShedMode):
+            raise ConfigurationError(f"mode must be a ShedMode, got {mode!r}")
+        if mode is ShedMode.DROP_BY_TYPE and not victims:
+            raise ConfigurationError(
+                "DROP_BY_TYPE shedding needs at least one victim event type"
+            )
+        self.mode = mode
+        self.max_state = max_state
+        self.victims = tuple(victims)
+
+    @classmethod
+    def drop_oldest(cls, max_state: int) -> "ShedPolicy":
+        """Shed the oldest retained elements once state exceeds *max_state*."""
+        return cls(max_state, ShedMode.DROP_OLDEST)
+
+    @classmethod
+    def drop_by_type(cls, max_state: int, victims: Tuple[str, ...]) -> "ShedPolicy":
+        """Shed *victims* types first once state exceeds *max_state*."""
+        return cls(max_state, ShedMode.DROP_BY_TYPE, victims=tuple(victims))
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity for snapshot config verification."""
+        return (self.mode.value, self.max_state, self.victims)
+
+    def __repr__(self) -> str:
+        if self.mode is ShedMode.DROP_BY_TYPE:
+            return (
+                f"ShedPolicy({self.mode.value}, max_state={self.max_state}, "
+                f"victims={self.victims!r})"
+            )
+        return f"ShedPolicy({self.mode.value}, max_state={self.max_state})"

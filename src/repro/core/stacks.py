@@ -141,10 +141,41 @@ class SortedStack:
             self.purged += cut
         return cut
 
+    def drop_oldest(self, count: int) -> int:
+        """Shed up to *count* oldest instances (load shedding); returns dropped.
+
+        Unlike :meth:`purge_through` this is *lossy* — the dropped
+        instances were not provably useless — so the caller accounts for
+        it in ``stats.events_shed``, not the purge counters.
+        """
+        cut = min(count, len(self._instances))
+        if cut > 0:
+            del self._instances[:cut]
+            del self._keys[:cut]
+        return cut
+
     def clear(self) -> None:
         self.purged += len(self._instances)
         self._instances.clear()
         self._keys.clear()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Stored instances plus lifetime counters, for engine checkpoints."""
+        return {
+            "instances": [(i.event, i.arrival) for i in self._instances],
+            "inserted": self.inserted,
+            "purged": self.purged,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._instances = [
+            Instance(event, arrival) for event, arrival in state["instances"]
+        ]
+        self._keys = [instance.sort_key() for instance in self._instances]
+        self.inserted = state["inserted"]
+        self.purged = state["purged"]
 
 
 class StackSet:
@@ -174,6 +205,13 @@ class StackSet:
 
     def total_purged(self) -> int:
         return sum(stack.purged for stack in self.stacks)
+
+    def snapshot_state(self) -> list:
+        return [stack.snapshot_state() for stack in self.stacks]
+
+    def restore_state(self, state: list) -> None:
+        for stack, stack_state in zip(self.stacks, state):
+            stack.restore_state(stack_state)
 
 
 class NegativeStore:
@@ -229,5 +267,44 @@ class NegativeStore:
         self.purged += dropped
         return dropped
 
+    def drop_oldest(self, etype: str, count: int) -> int:
+        """Shed up to *count* oldest events of *etype* (load shedding)."""
+        if etype not in self._by_type:
+            return 0
+        keys, events = self._by_type[etype]
+        cut = min(count, len(events))
+        if cut > 0:
+            del keys[:cut]
+            del events[:cut]
+        return cut
+
     def size(self) -> int:
         return sum(len(events) for _, events in self._by_type.values())
+
+    def oldest_type(self):
+        """(smallest (ts, eid) held, its event type), or None when empty.
+
+        Drives drop-oldest load shedding: the caller compares the key
+        against other stores and sheds from whichever holds the oldest.
+        """
+        best = None
+        for etype, (keys, _) in self._by_type.items():
+            if keys and (best is None or keys[0] < best[0]):
+                best = (keys[0], etype)
+        return best
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "types": {t: list(events) for t, (_, events) in self._by_type.items()},
+            "inserted": self.inserted,
+            "purged": self.purged,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for etype in self._by_type:
+            events = list(state["types"].get(etype, ()))
+            self._by_type[etype] = ([(e.ts, e.eid) for e in events], events)
+        self.inserted = state["inserted"]
+        self.purged = state["purged"]

@@ -39,6 +39,8 @@ class EngineStats:
         "negatives_purged",
         "peak_state_size",
         "revocations",
+        "events_quarantined",
+        "events_shed",
     )
 
     def __init__(self) -> None:
@@ -53,6 +55,15 @@ class EngineStats:
     def as_dict(self) -> Dict[str, int]:
         """Snapshot of all counters (stable key order for reports)."""
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def restore_from(self, counters: Dict[str, int]) -> None:
+        """Overwrite every counter from a snapshot dict.
+
+        Missing keys reset to zero so snapshots written before a counter
+        existed stay restorable.
+        """
+        for name in self.__slots__:
+            setattr(self, name, counters.get(name, 0))
 
     def merge(self, other: "EngineStats") -> None:
         """Accumulate *other* into self (peak is max-merged, not summed)."""

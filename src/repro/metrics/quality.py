@@ -4,6 +4,12 @@ Experiment E1 (and every correctness assertion in the test suite)
 reduces to comparing an engine's emitted result set with the offline
 oracle's.  Matches compare by identity keys (pattern name + member
 event ids), so set arithmetic is exact — no fuzzy matching.
+
+Reports optionally carry a **shed** count — events the engine dropped
+deliberately under overload (:class:`repro.core.shedding.ShedPolicy` or
+the spill tier's disk bound).  Shedding trades recall for bounded
+state, and a report that says "recall 0.92" without saying "because
+4 000 events were shed" misattributes the loss to a correctness bug.
 """
 
 from __future__ import annotations
@@ -16,13 +22,14 @@ from repro.core.pattern import Match
 class QualityReport:
     """Recall / precision / F1 of a produced result set vs. ground truth."""
 
-    __slots__ = ("truth_size", "produced_size", "missed", "spurious")
+    __slots__ = ("truth_size", "produced_size", "missed", "spurious", "shed")
 
-    def __init__(self, truth: Set[Tuple], produced: Set[Tuple]):
+    def __init__(self, truth: Set[Tuple], produced: Set[Tuple], shed: int = 0):
         self.truth_size = len(truth)
         self.produced_size = len(produced)
         self.missed = len(truth - produced)
         self.spurious = len(produced - truth)
+        self.shed = shed
 
     @property
     def recall(self) -> float:
@@ -48,20 +55,28 @@ class QualityReport:
         """True when the produced set equals the truth set exactly."""
         return self.missed == 0 and self.spurious == 0
 
+    @property
+    def degraded(self) -> bool:
+        """True when load shedding may account for missing results."""
+        return self.shed > 0
+
     def __repr__(self) -> str:
+        shed = f", shed={self.shed}" if self.shed else ""
         return (
             f"QualityReport(recall={self.recall:.3f}, precision={self.precision:.3f}, "
-            f"missed={self.missed}, spurious={self.spurious})"
+            f"missed={self.missed}, spurious={self.spurious}{shed})"
         )
 
 
-def compare(truth: Iterable[Match], produced: Iterable[Match]) -> QualityReport:
+def compare(
+    truth: Iterable[Match], produced: Iterable[Match], shed: int = 0
+) -> QualityReport:
     """Build a report from two match collections (any iterables)."""
     truth_keys = {m.key() for m in truth}
     produced_keys = {m.key() for m in produced}
-    return QualityReport(truth_keys, produced_keys)
+    return QualityReport(truth_keys, produced_keys, shed=shed)
 
 
-def compare_keys(truth: Set[Tuple], produced: Set[Tuple]) -> QualityReport:
+def compare_keys(truth: Set[Tuple], produced: Set[Tuple], shed: int = 0) -> QualityReport:
     """Build a report from pre-extracted identity-key sets."""
-    return QualityReport(set(truth), set(produced))
+    return QualityReport(set(truth), set(produced), shed=shed)

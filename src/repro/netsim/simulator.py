@@ -17,6 +17,7 @@ simulated delays rather than oracle knowledge).
 
 from __future__ import annotations
 
+import bisect
 import random
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -74,6 +75,26 @@ class SimulationResult:
             elif ts > max_ts:
                 max_ts = ts
         return bound
+
+    def crash_indices(self, failures, node: str) -> List[int]:
+        """Arrival-stream positions where *node*'s outages begin.
+
+        Maps each outage of *node* in a
+        :class:`repro.netsim.failure.FailureSchedule` to the index of
+        the first delivery arriving at or after the outage start — the
+        position at which an engine hosted on that node would die.
+        Feed the result to
+        :meth:`repro.faultinject.FaultInjector.from_outages` to turn a
+        simulated topology failure into an engine crash/restart cycle.
+        Outages starting after the last delivery produce no crash point.
+        """
+        arrivals = [d.arrived_at for d in self.deliveries]
+        indices = []
+        for start, _end in failures.outages(node):
+            index = bisect.bisect_left(arrivals, start)
+            if index < len(arrivals):
+                indices.append(index)
+        return sorted(set(indices))
 
 
 class NetworkSimulator:

@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from repro.core.errors import ConfigurationError
-from repro.core.event import Event
+from repro.core.event import Event, admission_error, malformed_reason
 
 
 class _Run:
@@ -44,7 +44,12 @@ class _Run:
         self.min_ts = min_ts
         self.count = count
 
-    def load(self) -> List[Event]:
+    def peek(self) -> List[Event]:
+        """Read the segment's events without consuming the file.
+
+        Used by checkpointing: a snapshot must capture spilled state
+        without disturbing the live buffer.
+        """
         events = []
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -57,6 +62,10 @@ class _Run:
                         eid=record["eid"],
                     )
                 )
+        return events
+
+    def load(self) -> List[Event]:
+        events = self.peek()
         self.path.unlink()
         return events
 
@@ -72,6 +81,16 @@ class SpillingReorderBuffer:
         Events written per spill segment (one file per batch).
     directory:
         Where segments go; a private temporary directory when omitted.
+    max_disk_events:
+        Optional disk bound: when spilled segments exceed this many
+        events, the oldest segments are shed (drop-oldest) and counted
+        in :attr:`shed_events` — bounded degradation instead of filling
+        the disk during a runaway burst.
+
+    The buffer is a context manager: ``with SpillingReorderBuffer(...)
+    as buf: ...`` guarantees :meth:`close` runs — spill segments and the
+    owned temporary directory are reclaimed even when the body raises
+    mid-stream.
     """
 
     def __init__(
@@ -79,13 +98,19 @@ class SpillingReorderBuffer:
         memory_limit: int = 10_000,
         spill_batch: int = 1_000,
         directory: Optional[Union[str, Path]] = None,
+        max_disk_events: Optional[int] = None,
     ):
         if memory_limit < 1:
             raise ConfigurationError(f"memory_limit must be >= 1, got {memory_limit}")
         if spill_batch < 1:
             raise ConfigurationError(f"spill_batch must be >= 1, got {spill_batch}")
+        if max_disk_events is not None and max_disk_events < 1:
+            raise ConfigurationError(
+                f"max_disk_events must be >= 1 or None, got {max_disk_events}"
+            )
         self.memory_limit = memory_limit
         self.spill_batch = spill_batch
+        self.max_disk_events = max_disk_events
         if directory is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-spill-")
             self.directory = Path(self._tmpdir.name)
@@ -97,8 +122,19 @@ class SpillingReorderBuffer:
         self._pending_spill: List[Event] = []
         self._runs: List[_Run] = []
         self._run_counter = 0
+        self._closed = False
         self.spilled_events = 0
         self.spill_segments = 0
+        self.shed_events = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def __enter__(self) -> "SpillingReorderBuffer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- sizes --------------------------------------------------------------------
 
@@ -116,7 +152,15 @@ class SpillingReorderBuffer:
     # -- operations -----------------------------------------------------------------
 
     def push(self, event: Event) -> None:
-        """Add an event to the buffer, spilling if memory is full."""
+        """Add an event to the buffer, spilling if memory is full.
+
+        Malformed events (NaN/float/negative timestamps — possible when
+        the caller deserialises from the network) are rejected with
+        :class:`~repro.core.errors.StreamError`: a NaN timestamp would
+        silently corrupt the heap order the release contract rests on.
+        """
+        if malformed_reason(event) is not None:
+            raise admission_error(event)
         if len(self._heap) < self.memory_limit:
             heapq.heappush(self._heap, (event.ts, event.eid, event))
             return
@@ -132,11 +176,19 @@ class SpillingReorderBuffer:
     def _flush_spill(self) -> None:
         if not self._pending_spill:
             return
+        run = self._write_run(self._pending_spill)
+        self._runs.append(run)
+        self.spilled_events += run.count
+        self.spill_segments += 1
+        self._pending_spill.clear()
+        if self.max_disk_events is not None:
+            self._shed_disk_overflow()
+
+    def _write_run(self, events: List[Event]) -> _Run:
         self._run_counter += 1
         path = self.directory / f"run-{self._run_counter:06d}.jsonl"
-        min_ts = min(event.ts for event in self._pending_spill)
         with path.open("w", encoding="utf-8") as handle:
-            for event in self._pending_spill:
+            for event in events:
                 handle.write(
                     json.dumps(
                         {
@@ -149,10 +201,24 @@ class SpillingReorderBuffer:
                     )
                     + "\n"
                 )
-        self._runs.append(_Run(path, min_ts, len(self._pending_spill)))
-        self.spilled_events += len(self._pending_spill)
-        self.spill_segments += 1
-        self._pending_spill.clear()
+        return _Run(path, min(event.ts for event in events), len(events))
+
+    def _shed_disk_overflow(self) -> None:
+        """Drop the oldest spilled segments until the disk bound holds.
+
+        Oldest-first keeps the shed deterministic and sacrifices the
+        events closest to release — the same drop-oldest rationale as
+        engine-state shedding (``repro.core.shedding``).  Casualties
+        accumulate in :attr:`shed_events`.
+        """
+        while self._runs and self.disk_size() > self.max_disk_events:
+            oldest = min(self._runs, key=lambda run: run.min_ts)
+            self._runs.remove(oldest)
+            try:
+                oldest.path.unlink()
+            except FileNotFoundError:
+                pass
+            self.shed_events += oldest.count
 
     def release(self, horizon: int) -> List[Event]:
         """Every held event with ``ts <= horizon``, in (ts, eid) order."""
@@ -189,8 +255,48 @@ class SpillingReorderBuffer:
             drained.append(heapq.heappop(self._heap)[2])
         return drained
 
+    # -- checkpoint / restore --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the full buffer state (both tiers) for checkpointing.
+
+        Spilled segments are read back with :meth:`_Run.peek` — the live
+        files are untouched, so snapshotting never perturbs the buffer.
+        """
+        return {
+            "memory": [entry[2] for entry in self._heap],
+            "pending": list(self._pending_spill),
+            "runs": [run.peek() for run in self._runs],
+            "spilled_events": self.spilled_events,
+            "spill_segments": self.spill_segments,
+            "shed_events": self.shed_events,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild buffer state from :meth:`snapshot_state` output.
+
+        Spilled segments are rewritten as fresh run files in *this*
+        buffer's directory — a restore never depends on the crashed
+        process's temporary files still existing.
+        """
+        self._heap = [(e.ts, e.eid, e) for e in state["memory"]]
+        heapq.heapify(self._heap)
+        self._pending_spill = list(state["pending"])
+        for run in self._runs:
+            try:
+                run.path.unlink()
+            except FileNotFoundError:
+                pass
+        self._runs = [self._write_run(events) for events in state["runs"] if events]
+        self.spilled_events = state["spilled_events"]
+        self.spill_segments = state["spill_segments"]
+        self.shed_events = state["shed_events"]
+
     def close(self) -> None:
-        """Delete any remaining spill segments."""
+        """Delete any remaining spill segments.  Safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
         for run in self._runs:
             try:
                 run.path.unlink()

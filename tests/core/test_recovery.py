@@ -1,0 +1,264 @@
+"""ResilientRunner: WAL + checkpoint + exactly-once replay (unit tests).
+
+The crash-anywhere property suite lives in
+``tests/property/test_property_recovery.py``; these tests pin the
+runner's mechanics — log formats, torn-write repair, suppression
+accounting, and the error surface when logs disagree.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import (
+    Attr,
+    ConfigurationError,
+    CrashError,
+    Eq,
+    Event,
+    FaultInjector,
+    OutOfOrderEngine,
+    Punctuation,
+    RecoveryError,
+    ResilientRunner,
+    seq,
+)
+from repro.core.recovery import (
+    CHECKPOINT_NAME,
+    DELIVERED_NAME,
+    WAL_NAME,
+    clear_state,
+    decode_element,
+    encode_element,
+)
+from helpers import bounded_shuffle
+
+K = 8
+
+PATTERN = seq(
+    "A a",
+    "B b",
+    within=12,
+    where=[Eq(Attr("a", "x"), Attr("b", "x"))],
+    name="rec",
+)
+
+
+def make_engine():
+    return OutOfOrderEngine(PATTERN, k=K)
+
+
+def trace(n=200, seed=0):
+    rng = random.Random(seed)
+    events = [
+        Event(rng.choice("AB"), ts, {"x": rng.randint(0, 2)})
+        for ts in range(1, n + 1)
+    ]
+    return bounded_shuffle(events, k=K, seed=seed + 1)
+
+
+class TestElementCodec:
+    def test_event_round_trip(self):
+        event = Event("A", 7, {"x": 1, "y": "z"}, eid=42)
+        clone = decode_element(encode_element(event))
+        assert (clone.etype, clone.ts, clone.eid, clone.attrs) == (
+            "A",
+            7,
+            42,
+            {"x": 1, "y": "z"},
+        )
+
+    def test_punctuation_round_trip(self):
+        clone = decode_element(encode_element(Punctuation(9)))
+        assert isinstance(clone, Punctuation) and clone.ts == 9
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RecoveryError):
+            decode_element({"kind": "mystery"})
+
+    def test_unloggable_element_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_element("not an element")
+
+
+class TestPlainOperation:
+    def test_run_matches_bare_engine(self, tmp_path):
+        stream = trace()
+        bare = make_engine()
+        bare.run(stream)
+        runner = ResilientRunner(make_engine(), tmp_path, checkpoint_every=25)
+        delivered = runner.run(stream)
+        assert [m.key() for m in delivered] == [m.key() for m in bare.results]
+        assert runner.checkpoints_written >= len(stream) // 25
+        assert not runner.recovered
+
+    def test_logs_written(self, tmp_path):
+        stream = trace(50)
+        ResilientRunner(make_engine(), tmp_path, checkpoint_every=10).run(stream)
+        assert (tmp_path / WAL_NAME).exists()
+        assert (tmp_path / CHECKPOINT_NAME).exists()
+        wal_lines = (tmp_path / WAL_NAME).read_text().splitlines()
+        # every element + the close sentinel
+        assert len(wal_lines) == len(stream) + 1
+        assert json.loads(wal_lines[-1]) == {"kind": "close"}
+
+    def test_delivery_log_is_sequenced(self, tmp_path):
+        runner = ResilientRunner(make_engine(), tmp_path, checkpoint_every=10)
+        runner.run(trace())
+        records = [
+            json.loads(line)
+            for line in (tmp_path / DELIVERED_NAME).read_text().splitlines()
+        ]
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert all(r["start_ts"] <= r["end_ts"] for r in records)
+
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResilientRunner(make_engine(), tmp_path, checkpoint_every=0)
+
+    def test_close_idempotent(self, tmp_path):
+        runner = ResilientRunner(make_engine(), tmp_path, checkpoint_every=10)
+        runner.run(trace(30))
+        assert runner.close() == []
+
+    def test_clear_state(self, tmp_path):
+        ResilientRunner(make_engine(), tmp_path, checkpoint_every=10).run(trace(30))
+        clear_state(tmp_path)
+        assert not any(
+            (tmp_path / name).exists()
+            for name in (WAL_NAME, CHECKPOINT_NAME, DELIVERED_NAME)
+        )
+        fresh = ResilientRunner(make_engine(), tmp_path, checkpoint_every=10)
+        assert not fresh.recovered
+
+
+class TestCrashRecovery:
+    def _crash_and_recover(self, tmp_path, stream, crash_at, interval):
+        fault = FaultInjector(crash_at=[crash_at])
+        first = ResilientRunner(
+            make_engine(), tmp_path, checkpoint_every=interval, fault=fault
+        )
+        with pytest.raises(CrashError):
+            first.run(stream)
+        second = ResilientRunner(make_engine(), tmp_path, checkpoint_every=interval)
+        second.run(stream)
+        return second
+
+    def test_delivered_log_byte_identical_to_uninterrupted(self, tmp_path):
+        stream = trace()
+        plain_dir = tmp_path / "plain"
+        crash_dir = tmp_path / "crash"
+        ResilientRunner(make_engine(), plain_dir, checkpoint_every=25).run(stream)
+        recovered = self._crash_and_recover(
+            crash_dir, stream, crash_at=130, interval=25
+        )
+        assert (crash_dir / DELIVERED_NAME).read_bytes() == (
+            plain_dir / DELIVERED_NAME
+        ).read_bytes()
+        assert recovered.recovered
+        # Last checkpoint at seq 125; the crashed element (logged but
+        # never processed) is part of the replayed suffix: 126..131.
+        assert recovered.replayed_elements == 131 - 125
+
+    def test_crash_before_first_checkpoint(self, tmp_path):
+        stream = trace(60)
+        recovered = self._crash_and_recover(tmp_path, stream, crash_at=3, interval=50)
+        bare = make_engine()
+        bare.run(stream)
+        assert recovered.delivered_count == len(bare.results)
+
+    def test_multi_crash_schedule_shared_injector(self, tmp_path):
+        stream = trace()
+        fault = FaultInjector(crash_at=[40, 90, 140])
+        crashes = 0
+        while True:
+            runner = ResilientRunner(
+                make_engine(), tmp_path, checkpoint_every=30, fault=fault
+            )
+            try:
+                runner.run(stream)
+                break
+            except CrashError:
+                crashes += 1
+        assert crashes == 3
+        bare = make_engine()
+        bare.run(stream)
+        assert runner.delivered_count == len(bare.results)
+
+    def test_exactly_once_no_duplicate_records(self, tmp_path):
+        stream = trace()
+        recovered = self._crash_and_recover(
+            tmp_path, stream, crash_at=101, interval=20
+        )
+        lines = (tmp_path / DELIVERED_NAME).read_text().splitlines()
+        keys = [json.dumps(json.loads(line)["key"]) for line in lines]
+        assert len(keys) == len(set(keys))
+        assert recovered.delivered_count == len(keys)
+
+
+class TestLogRepairAndErrors:
+    def test_torn_wal_line_is_truncated(self, tmp_path):
+        stream = trace(40)
+        fault = FaultInjector(crash_at=[30])
+        first = ResilientRunner(
+            make_engine(), tmp_path, checkpoint_every=10, fault=fault
+        )
+        with pytest.raises(CrashError):
+            first.run(stream)
+        # Simulate a crash mid-append: a trailing fragment without newline.
+        with (tmp_path / WAL_NAME).open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "event", "etype": "A"')
+        second = ResilientRunner(make_engine(), tmp_path, checkpoint_every=10)
+        # The torn element never reached the engine, so it is simply
+        # re-fed from the input stream.
+        second.run(stream)
+        bare = make_engine()
+        bare.run(stream)
+        assert second.delivered_count == len(bare.results)
+
+    def test_corrupt_interior_wal_line_raises(self, tmp_path):
+        runner = ResilientRunner(make_engine(), tmp_path, checkpoint_every=10)
+        runner.feed(Event("A", 1, {"x": 0}))
+        runner._close_handles()
+        raw = (tmp_path / WAL_NAME).read_bytes()
+        (tmp_path / WAL_NAME).write_bytes(b"garbage\n" + raw)
+        with pytest.raises(RecoveryError):
+            ResilientRunner(make_engine(), tmp_path, checkpoint_every=10)
+
+    def test_truncated_delivery_log_raises(self, tmp_path):
+        stream = trace()
+        fault = FaultInjector(crash_at=[150])
+        first = ResilientRunner(
+            make_engine(), tmp_path, checkpoint_every=20, fault=fault
+        )
+        with pytest.raises(CrashError):
+            first.run(stream)
+        first._close_handles()
+        (tmp_path / DELIVERED_NAME).write_text("")  # lose all delivery records
+        with pytest.raises(RecoveryError):
+            ResilientRunner(make_engine(), tmp_path, checkpoint_every=20)
+
+    def test_wal_shorter_than_checkpoint_raises(self, tmp_path):
+        stream = trace(80)
+        runner = ResilientRunner(make_engine(), tmp_path, checkpoint_every=20)
+        for element in stream:
+            runner.feed(element)
+        runner._close_handles()
+        (tmp_path / WAL_NAME).write_text("")  # checkpoint claims 80 elements
+        with pytest.raises(RecoveryError):
+            ResilientRunner(make_engine(), tmp_path, checkpoint_every=20)
+
+    def test_recovering_finished_run_is_a_noop(self, tmp_path):
+        stream = trace(60)
+        ResilientRunner(make_engine(), tmp_path, checkpoint_every=20).run(stream)
+        before = (tmp_path / DELIVERED_NAME).read_bytes()
+        again = ResilientRunner(make_engine(), tmp_path, checkpoint_every=20)
+        assert again.run(stream) == []
+        assert (tmp_path / DELIVERED_NAME).read_bytes() == before
+
+    def test_feed_after_recovered_close_raises(self, tmp_path):
+        ResilientRunner(make_engine(), tmp_path, checkpoint_every=20).run(trace(30))
+        again = ResilientRunner(make_engine(), tmp_path, checkpoint_every=20)
+        with pytest.raises(RecoveryError):
+            again.feed(Event("A", 10_000, {"x": 0}))

@@ -1,0 +1,178 @@
+"""Load shedding: bounded state under overload, degradation accounted for.
+
+The shed policy trades recall for a hard state bound: when stored
+events exceed ``max_state`` the engine drops stored elements
+(oldest-first, optionally from sacrificial types first) instead of
+growing without bound.  The loss is *visible* — ``events_shed`` counts
+casualties and flows into :class:`repro.metrics.quality.QualityReport`
+— and *deterministic* — the same stream sheds the same events.
+"""
+
+import pytest
+
+from repro import (
+    AggressiveEngine,
+    ConfigurationError,
+    Event,
+    OfflineOracle,
+    OutOfOrderEngine,
+    PurgePolicy,
+    ReorderingEngine,
+    ShedMode,
+    ShedPolicy,
+    seq,
+)
+from repro.bench import make_engine
+from repro.metrics import compare
+from repro.metrics.quality import compare_keys
+
+PATTERN = seq("A a", "B b", within=1000, name="shed")
+NEG_PATTERN = seq("A a", "!B b", "C c", within=1000, name="shedneg")
+
+
+class TestPolicyValidation:
+    def test_max_state_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ShedPolicy.drop_oldest(0)
+        with pytest.raises(ConfigurationError):
+            ShedPolicy.drop_oldest(-5)
+
+    def test_drop_by_type_requires_victims(self):
+        with pytest.raises(ConfigurationError):
+            ShedPolicy(ShedMode.DROP_BY_TYPE, 10, ())
+
+    def test_fingerprint_is_stable(self):
+        policy = ShedPolicy.drop_by_type(10, ["B", "A"])
+        assert policy.fingerprint() == ShedPolicy.drop_by_type(10, ["B", "A"]).fingerprint()
+
+    def test_make_engine_rejects_unsupported_strategies(self):
+        with pytest.raises(ConfigurationError):
+            make_engine("inorder", PATTERN, shed=ShedPolicy.drop_oldest(10))
+
+
+class TestDropOldest:
+    def test_state_bounded_throughout(self):
+        engine = OutOfOrderEngine(
+            PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_oldest(25),
+        )
+        for ts in range(1, 401):
+            engine.feed(Event("A", ts, {}))
+            assert engine.stacks.size() + engine.negatives.size() <= 25
+        assert engine.stats.events_shed > 0
+
+    def test_no_spurious_matches(self):
+        # Shedding positive events can only *lose* matches for a
+        # negation-free pattern, never invent them.
+        events = [Event("AB"[ts % 2], ts, {}) for ts in range(1, 301)]
+        truth = OfflineOracle(PATTERN).evaluate_set(events)
+        engine = OutOfOrderEngine(
+            PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_oldest(30),
+        )
+        engine.run(events)
+        produced = engine.result_set()
+        assert produced <= truth
+        report = compare_keys(truth, produced, shed=engine.stats.events_shed)
+        assert report.precision == 1.0
+        assert report.degraded
+        assert "shed" in repr(report)
+
+    def test_deterministic(self):
+        events = [Event("AB"[ts % 2], ts, {}) for ts in range(1, 201)]
+
+        def run():
+            engine = OutOfOrderEngine(
+                PATTERN, k=2000, purge=PurgePolicy.none(),
+                shed=ShedPolicy.drop_oldest(20),
+            )
+            engine.run(events)
+            return [m.key() for m in engine.results], engine.stats.events_shed
+
+        assert run() == run()
+
+    def test_unstressed_engine_never_sheds(self):
+        engine = OutOfOrderEngine(PATTERN, k=10, shed=ShedPolicy.drop_oldest(10_000))
+        engine.run([Event("AB"[ts % 2], ts, {}) for ts in range(1, 101)])
+        assert engine.stats.events_shed == 0
+
+    def test_aggressive_engine_supports_shedding(self):
+        engine = AggressiveEngine(
+            NEG_PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_oldest(25),
+        )
+        for ts in range(1, 301):
+            engine.feed(Event("AC"[ts % 2], ts, {}))
+        assert engine.stats.events_shed > 0
+
+    def test_batch_path_falls_back_to_reference_loop(self):
+        events = [Event("AB"[ts % 2], ts, {}) for ts in range(1, 201)]
+        batched = OutOfOrderEngine(
+            PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_oldest(20),
+        )
+        single = OutOfOrderEngine(
+            PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_oldest(20),
+        )
+        out_b = batched.feed_batch(events) + batched.close()
+        out_s = [m for e in events for m in single.feed(e)] + single.close()
+        assert [m.key() for m in out_b] == [m.key() for m in out_s]
+        assert batched.stats.as_dict() == single.stats.as_dict()
+
+
+class TestDropByType:
+    def test_victim_types_shed_first(self):
+        engine = OutOfOrderEngine(
+            PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_by_type(20, ["A"]),
+        )
+        for ts in range(1, 31):
+            engine.feed(Event("A", ts, {}))
+        for ts in range(31, 41):
+            engine.feed(Event("B", ts, {}))
+        # All 10 B's retained; the A stack paid the whole bound.
+        assert len(engine.stacks[1]) == 10  # step 1 = B
+        assert len(engine.stacks[0]) == 10  # step 0 = A
+        assert engine.stats.events_shed == 20
+
+    def test_falls_back_to_global_drop_oldest(self):
+        # Victims exhausted: the bound must still hold.
+        engine = OutOfOrderEngine(
+            PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_by_type(15, ["A"]),
+        )
+        for ts in range(1, 41):
+            engine.feed(Event("B", ts, {}))
+        assert engine.stacks.size() <= 15
+        assert engine.stats.events_shed == 25
+
+
+class TestSpillDiskBound:
+    def test_reorder_max_spilled_requires_memory_limit(self):
+        with pytest.raises(ConfigurationError):
+            ReorderingEngine(PATTERN, k=10, max_spilled=100)
+
+    def test_spill_tier_sheds_oldest_segments(self):
+        engine = ReorderingEngine(
+            PATTERN, k=10_000, memory_limit=5, max_spilled=500
+        )
+        for ts in range(1, 2501):
+            engine.feed(Event("A", ts, {}))
+        # Two flushed runs of 1000 exceeded the 500-event disk bound.
+        assert engine.stats.events_shed == 2000
+        engine.close()  # survivors drain without error
+
+    def test_shed_counter_reaches_quality_report(self):
+        engine = OutOfOrderEngine(
+            PATTERN, k=2000, purge=PurgePolicy.none(),
+            shed=ShedPolicy.drop_oldest(10),
+        )
+        events = [Event("AB"[ts % 2], ts, {}) for ts in range(1, 101)]
+        engine.run(events)
+        report = compare(
+            OfflineOracle(PATTERN).evaluate(events),
+            engine.results,
+            shed=engine.stats.events_shed,
+        )
+        assert report.shed == engine.stats.events_shed > 0

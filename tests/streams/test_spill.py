@@ -4,9 +4,10 @@ import random
 
 import pytest
 
-from repro import ConfigurationError, Event, OfflineOracle, ReorderingEngine, parse
+from repro import ConfigurationError, Event, OfflineOracle, ReorderingEngine, StreamError, parse
 from repro.streams import BurstDropoutModel, SyntheticSource
 from repro.streams.spill import SpillingReorderBuffer
+from repro.faultinject import corrupt_event
 from helpers import bounded_shuffle
 
 
@@ -119,3 +120,124 @@ class TestEngineIntegration:
         pattern = parse("PATTERN SEQ(A a, B b) WITHIN 10")
         engine = ReorderingEngine(pattern, k=5)
         assert engine._spill is None
+
+
+class TestLifecycle:
+    def test_context_manager_cleans_up(self, events, tmp_path):
+        with SpillingReorderBuffer(
+            memory_limit=10, spill_batch=10, directory=tmp_path
+        ) as buffer:
+            for event in events[:200]:
+                buffer.push(event)
+            assert list(tmp_path.glob("run-*.jsonl"))
+        assert not list(tmp_path.glob("run-*.jsonl"))
+
+    def test_no_files_leak_when_body_raises(self, events, tmp_path):
+        with pytest.raises(RuntimeError):
+            with SpillingReorderBuffer(
+                memory_limit=10, spill_batch=10, directory=tmp_path
+            ) as buffer:
+                for event in events[:200]:
+                    buffer.push(event)
+                raise RuntimeError("consumer died mid-stream")
+        assert not list(tmp_path.glob("run-*.jsonl"))
+
+    def test_owned_tempdir_removed_on_exit(self, events):
+        with SpillingReorderBuffer(memory_limit=10, spill_batch=10) as buffer:
+            for event in events[:100]:
+                buffer.push(event)
+            directory = buffer.directory
+            assert directory.exists()
+        assert not directory.exists()
+
+    def test_close_idempotent(self, events, tmp_path):
+        buffer = SpillingReorderBuffer(
+            memory_limit=10, spill_batch=10, directory=tmp_path
+        )
+        for event in events[:100]:
+            buffer.push(event)
+        buffer.close()
+        buffer.close()  # second close is a no-op, not an error
+        assert not list(tmp_path.glob("run-*.jsonl"))
+
+    def test_malformed_push_rejected(self):
+        with SpillingReorderBuffer(memory_limit=5) as buffer:
+            with pytest.raises(StreamError):
+                buffer.push(corrupt_event(Event("A", 5), "nan_ts"))
+            assert len(buffer) == 0
+
+
+class TestDiskBound:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpillingReorderBuffer(max_disk_events=0)
+
+    def test_oldest_segments_shed_at_bound(self, tmp_path):
+        with SpillingReorderBuffer(
+            memory_limit=5, spill_batch=10, max_disk_events=25, directory=tmp_path
+        ) as buffer:
+            for ts in range(1, 76):  # 5 in memory, 70 spill-bound
+                buffer.push(Event("A", ts))
+            # 7 runs of 10 were flushed; the bound keeps only the newest 2.
+            assert buffer.disk_size() <= 25
+            assert buffer.shed_events == 50
+            # Survivors are the *youngest* spilled events.
+            survivors = {e.ts for e in buffer.drain()}
+            assert all(ts > 50 for ts in survivors if ts > 5)
+
+    def test_unbounded_by_default(self, events):
+        with SpillingReorderBuffer(memory_limit=5, spill_batch=10) as buffer:
+            for event in events:
+                buffer.push(event)
+            assert buffer.shed_events == 0
+            assert len(buffer) == len(events)
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_both_tiers(self, events, tmp_path):
+        arrival = bounded_shuffle(events[:300], k=40, seed=7)
+        original = SpillingReorderBuffer(
+            memory_limit=20, spill_batch=10, directory=tmp_path / "a"
+        )
+        for event in arrival:
+            original.push(event)
+        state = original.snapshot_state()
+
+        clone = SpillingReorderBuffer(
+            memory_limit=20, spill_batch=10, directory=tmp_path / "b"
+        )
+        clone.restore_state(state)
+        assert len(clone) == len(original)
+        assert clone.disk_size() == original.disk_size()
+        assert [e.eid for e in clone.drain()] == [e.eid for e in original.drain()]
+        original.close()
+        clone.close()
+
+    def test_snapshot_never_perturbs_live_buffer(self, events, tmp_path):
+        buffer = SpillingReorderBuffer(
+            memory_limit=10, spill_batch=10, directory=tmp_path
+        )
+        for event in events[:150]:
+            buffer.push(event)
+            buffer.snapshot_state()
+        assert len(buffer) == 150
+        expected = [e.eid for e in sorted(events[:150], key=lambda e: (e.ts, e.eid))]
+        assert [e.eid for e in buffer.drain()] == expected
+        buffer.close()
+
+    def test_restore_rewrites_runs_locally(self, events, tmp_path):
+        donor = SpillingReorderBuffer(
+            memory_limit=10, spill_batch=10, directory=tmp_path / "donor"
+        )
+        for event in events[:100]:
+            donor.push(event)
+        state = donor.snapshot_state()
+        donor.close()  # crashed process: its files are gone
+        clone = SpillingReorderBuffer(
+            memory_limit=10, spill_batch=10, directory=tmp_path / "clone"
+        )
+        clone.restore_state(state)
+        assert clone.disk_size() > 0
+        assert list((tmp_path / "clone").glob("run-*.jsonl"))
+        assert len(clone.drain()) == 100
+        clone.close()
