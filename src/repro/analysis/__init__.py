@@ -1,0 +1,94 @@
+"""repro.analysis — AST-based invariant checker for the engine contracts.
+
+The paper's correctness claims (out-of-order results observably
+identical to in-order ones; purge never drops live state) plus the
+repo's operational contracts (snapshot/restore round-trips, exactly-
+once replay) are enforced mechanically by five rules over the parsed
+source tree.  See ``docs/analysis.md`` for the rule catalogue and
+suppression syntax.
+
+Programmatic entry point::
+
+    from repro.analysis import run_analysis
+    report = run_analysis(["src/repro"])
+    assert not report.findings
+
+Command line::
+
+    python -m repro.analysis [--format text|json] [paths...]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.model import Project, build_project
+from repro.analysis.rules import Rule, all_rules
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "build_project",
+    "run_analysis",
+    "render_text",
+    "render_json",
+]
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding]
+    checked_files: int
+    suppressed: int
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed: no findings, no unparsable files."""
+        return not self.findings and not self.parse_errors
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return render_json(self.findings, self.checked_files, self.suppressed)
+        return render_text(self.findings, self.checked_files, self.suppressed)
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisReport:
+    """Run *rules* (default: all registered) over the tree at *paths*."""
+    project = build_project(paths)
+    active = list(rules) if rules is not None else all_rules()
+    module_by_path: Dict[str, object] = {
+        module.path: module for module in project.modules
+    }
+    kept: List[Finding] = []
+    suppressed = 0
+    raw = sorted(
+        {finding for rule in active for finding in rule.check(project)}
+    )
+    for finding in raw:
+        module = module_by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding.line, finding.rule):  # type: ignore[attr-defined]
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return AnalysisReport(
+        findings=kept,
+        checked_files=len(project.modules),
+        suppressed=suppressed,
+        parse_errors=list(project.parse_errors),
+    )

@@ -1,0 +1,120 @@
+"""R005 — purge safety.
+
+Purging is where the paper's state-management argument gets sharp:
+K-slack guarantees events older than ``max_ts - K`` cannot contribute
+to new matches, so purge walks stacks/buffers and drops the dead
+prefix.  The natural way to write that walk — iterate the container
+and remove as you go — is exactly the bug Python punishes
+nondeterministically: ``list.remove`` shifts elements under the
+iterator (silently skipping survivors, i.e. *under*-purging or
+*over*-purging live state), and dict/set resizes raise ``RuntimeError``
+only sometimes.
+
+The rule inspects every method whose name suggests eviction
+(``purge``/``evict``/``expire``/``shed``/``trim`` as a word in the
+name) and flags loops that mutate the very container they iterate —
+directly (``for s in self.stacks: self.stacks.remove(s)``), through
+the loop's own alias (``buf = self._buffer; for e in buf:
+buf.pop()``), or via ``del`` on a subscript of the iterated container.
+Iterating a copy (``list(...)``), a slice, or collecting victims first
+and deleting after the loop all pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import MUTATOR_METHODS, FunctionInfo, Project
+from repro.analysis.rules import Rule
+
+_PURGE_NAME = re.compile(r"(?:^|_)(purge|evict|expire|shed|trim)(?:_|$)")
+
+#: Accessors that iterate the underlying container's storage.
+_VIEW_METHODS = frozenset({"values", "keys", "items"})
+
+
+def _iter_key(expr: ast.AST) -> Optional[str]:
+    """Canonical key for 'what container does this expression iterate'.
+
+    ``self.stacks`` -> ``self.stacks``; ``self._buf.values()`` ->
+    ``self._buf``; a bare local ``buf`` -> ``buf``.  Calls other than
+    dict views (``list(...)``, ``sorted(...)``, slices) return None —
+    they materialise a copy, so mutating the source is safe.
+    """
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr in _VIEW_METHODS:
+            return _iter_key(func.value)
+        return None
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        inner = _iter_key(expr.value)
+        return f"{inner}.{expr.attr}" if inner else None
+    return None
+
+
+def _mutation_of(node: ast.AST, key: str) -> Optional[int]:
+    """Line of the first statement in *node* mutating container *key*."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+                and _iter_key(func.value) == key
+            ):
+                return child.lineno
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                if isinstance(target, ast.Subscript):
+                    if _iter_key(target.value) == key:
+                        return child.lineno
+    return None
+
+
+class PurgeSafety(Rule):
+    rule_id = "R005"
+    summary = (
+        "purge/evict methods must not mutate a container while "
+        "iterating it"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            functions = list(module.functions.values())
+            for cls in module.classes.values():
+                functions.extend(cls.methods.values())
+            for fn in functions:
+                if not _PURGE_NAME.search(fn.name):
+                    continue
+                yield from self._check_function(fn)
+
+    def _check_function(self, fn: FunctionInfo) -> Iterator[Finding]:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.For):
+                continue
+            key = _iter_key(node.iter)
+            if key is None:
+                continue
+            line = None
+            for stmt in node.body:
+                line = _mutation_of(stmt, key)
+                if line is not None:
+                    break
+            if line is None:
+                continue
+            yield Finding(
+                path=fn.module.path,
+                line=line,
+                rule=self.rule_id,
+                symbol=fn.qualname,
+                message=(
+                    f"mutates '{key}' while iterating it (line "
+                    f"{node.lineno}); collect victims first or iterate "
+                    "a copy"
+                ),
+            )

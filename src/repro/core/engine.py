@@ -99,7 +99,7 @@ class Engine:
     the bench harness strategy-agnostic.
     """
 
-    def __init__(self, pattern: Pattern):
+    def __init__(self, pattern: Pattern) -> None:
         self.pattern = pattern
         self.stats = EngineStats()
         self.results: List[Match] = []
@@ -299,7 +299,7 @@ class OutOfOrderEngine(Engine):
         optimize_scan: bool = True,
         optimize_construction: bool = True,
         shed: Optional[ShedPolicy] = None,
-    ):
+    ) -> None:
         super().__init__(pattern)
         if not isinstance(late_policy, LatePolicy):
             raise ConfigurationError(f"late_policy must be a LatePolicy, got {late_policy!r}")

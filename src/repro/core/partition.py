@@ -33,6 +33,7 @@ from repro.core.errors import ConfigurationError, QueryError
 from repro.core.event import Event, Punctuation
 from repro.core.pattern import Match, Pattern
 from repro.core.purge import PurgePolicy
+from repro.core.stats import EngineStats
 
 
 def detect_partition_key(pattern: Pattern) -> str:
@@ -281,8 +282,6 @@ class PartitionedEngine(Engine):
 
     def merged_substats(self):
         """Aggregated work counters across all partitions."""
-        from repro.core.stats import EngineStats
-
         merged = EngineStats()
         for engine in self._partitions.values():
             merged.merge(engine.stats)
@@ -448,6 +447,9 @@ class ParallelPartitionedEngine(PartitionedEngine):
                 "routed": [
                     (value, list(bucket)) for value, bucket in self._routed.items()
                 ],
+                "worker_stats": [
+                    stats.as_dict() for stats in self._worker_stats
+                ],
             }
         )
         return state
@@ -461,6 +463,12 @@ class ParallelPartitionedEngine(PartitionedEngine):
         self._since_punctuation = state["since_punctuation"]
         self._last_broadcast = state["last_broadcast"]
         self._routed = {value: list(bucket) for value, bucket in state["routed"]}
+        restored_stats = []
+        for payload in state.get("worker_stats", []):
+            stats = EngineStats()
+            stats.restore_from(payload)
+            restored_stats.append(stats)
+        self._worker_stats = restored_stats
 
     # -- fan-out + deterministic merge ----------------------------------------------
 
@@ -507,8 +515,6 @@ class ParallelPartitionedEngine(PartitionedEngine):
     def merged_substats(self):
         if self.workers == 1:
             return PartitionedEngine.merged_substats(self)
-        from repro.core.stats import EngineStats
-
         merged = EngineStats()
         for stats in self._worker_stats:
             merged.merge(stats)

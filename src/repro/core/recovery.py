@@ -37,7 +37,7 @@ import os
 import pickle
 from json.encoder import encode_basestring_ascii as _escape_json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
 
 from repro.core.engine import Engine
 from repro.core.errors import ConfigurationError, RecoveryError
@@ -201,7 +201,7 @@ class ResilientRunner:
         directory: Union[str, Path],
         checkpoint_every: int = 1000,
         fault: Optional[Any] = None,
-    ):
+    ) -> None:
         if checkpoint_every < 1:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -218,9 +218,9 @@ class ResilientRunner:
         self._delivered = 0  # matches delivered downstream (log length)
         self._suppress: List[Dict[str, Any]] = []
         self._engine_closed = False
-        self._wal_handle = None
+        self._wal_handle: Optional[TextIO] = None
         self._wal_dirty = False
-        self._delivered_handle = None
+        self._delivered_handle: Optional[TextIO] = None
         #: matches delivered by THIS incarnation (replayed-but-suppressed
         #: re-emissions excluded — those were delivered by a predecessor).
         self.matches: List[Match] = []
@@ -235,7 +235,12 @@ class ResilientRunner:
     def __enter__(self) -> "ResilientRunner":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[Any],
+    ) -> bool:
         self._close_handles()
         return False
 

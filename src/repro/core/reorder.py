@@ -24,7 +24,10 @@ latency and buffer memory, not on result quality.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+if TYPE_CHECKING:  # runtime import stays lazy; see __init__
+    from repro.streams.spill import SpillingReorderBuffer
 
 from repro.core.clock import StreamClock
 from repro.core.engine import Engine, ValidationPolicy
@@ -39,6 +42,7 @@ from repro.core.event import (
 from repro.core.inorder import InOrderEngine
 from repro.core.pattern import Match, Pattern
 from repro.core.purge import PurgePolicy
+from repro.core.stats import EngineStats
 
 
 class ReorderingEngine(Engine):
@@ -73,7 +77,7 @@ class ReorderingEngine(Engine):
         purge: Optional[PurgePolicy] = None,
         memory_limit: Optional[int] = None,
         max_spilled: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(pattern)
         if not isinstance(k, int) or isinstance(k, bool) or k < 0:
             raise ConfigurationError(
@@ -87,7 +91,7 @@ class ReorderingEngine(Engine):
         self.clock = StreamClock(k)
         self.inner = InOrderEngine(pattern, purge=purge)
         self._buffer: List[tuple] = []  # (ts, eid, event) min-heap
-        self._spill = None
+        self._spill: Optional["SpillingReorderBuffer"] = None
         if memory_limit is not None:
             from repro.streams.spill import SpillingReorderBuffer
 
@@ -350,6 +354,6 @@ class ReorderingEngine(Engine):
     # -- diagnostics ----------------------------------------------------------------
 
     @property
-    def inner_stats(self):
+    def inner_stats(self) -> EngineStats:
         """Counters of the wrapped in-order engine."""
         return self.inner.stats

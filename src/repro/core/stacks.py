@@ -62,7 +62,9 @@ class SortedStack:
     def __init__(self, step_index: int):
         self.step_index = step_index
         self._instances: List[Instance] = []
-        self._keys: List[Tuple[int, int]] = []  # parallel (ts, eid) for bisect
+        # Parallel (ts, eid) list for bisect; derived from _instances and
+        # rebuilt by restore_state, so snapshots never carry it.
+        self._keys: List[Tuple[int, int]] = []  # repro: ignore[R001] -- derived cache, rebuilt on restore
         self.inserted = 0
         self.purged = 0
 

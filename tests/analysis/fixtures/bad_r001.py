@@ -1,0 +1,19 @@
+"""R001 fixture: ``_cursor`` mutates on the feed path, never snapshotted."""
+
+
+class BadSnapshotEngine:
+    def __init__(self, pattern):
+        self.pattern = pattern
+        self._buffer = []
+        self._cursor = 0  # line 8: the finding anchors here
+
+    def _process_event(self, event):
+        self._buffer.append(event)
+        self._cursor += 1
+        return []
+
+    def _snapshot_state(self):
+        return {"buffer": list(self._buffer)}
+
+    def _restore_state(self, state):
+        self._buffer = list(state["buffer"])

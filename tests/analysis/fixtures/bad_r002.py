@@ -1,0 +1,20 @@
+"""R002 fixture: wall-clock read and print on the feed path."""
+
+import time
+
+
+class ImpureEngine:
+    def __init__(self):
+        self._log = []
+
+    def _process_event(self, event):
+        return []
+
+    def feed(self, element):
+        started = time.time()  # line 14: wall-clock read
+        self._log.append(started)
+        return self._helper(element)
+
+    def _helper(self, element):
+        print(element)  # line 19: console I/O, one hop from feed
+        return []

@@ -1,0 +1,16 @@
+"""R003 fixture: set iteration on an output-producing path."""
+
+
+class NondetEngine:
+    def __init__(self):
+        self._pending = set()
+
+    def _process_event(self, event):
+        self._pending.add(event)
+        return []
+
+    def _flush(self):
+        out = []
+        for item in self._pending:  # line 14: nondeterministic order
+            out.append(item)
+        return out

@@ -1,0 +1,12 @@
+"""R004 fixture: an engine with ``feed`` but no batch/snapshot surface."""
+
+
+class HalfEngine:
+    def __init__(self, pattern):
+        self.pattern = pattern
+
+    def _process_event(self, event):
+        return []
+
+    def feed(self, element):  # line 11: all three findings anchor here
+        return self._process_event(element)

@@ -1,0 +1,11 @@
+"""R005 fixture: purge mutates the container it is iterating."""
+
+
+class LeakyStore:
+    def __init__(self):
+        self._events = []
+
+    def purge_through(self, horizon):
+        for event in self._events:
+            if event[0] <= horizon:
+                self._events.remove(event)  # line 11: skips survivors

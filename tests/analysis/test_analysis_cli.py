@@ -1,0 +1,53 @@
+"""CLI behaviour: exit codes, formats, rule listing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_path_exits_zero(capsys):
+    assert main([str(FIXTURES / "clean_engine.py")]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_findings_exit_one_text(capsys):
+    assert main([str(FIXTURES / "bad_r004.py")]) == 1
+    out = capsys.readouterr().out
+    assert "R004" in out
+    assert "HalfEngine" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    assert main(["--format", "json", str(FIXTURES / "bad_r001.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["checked_files"] == 1
+    rules = [finding["rule"] for finding in payload["findings"]]
+    assert "R001" in rules
+    first = payload["findings"][0]
+    assert set(first) == {"rule", "severity", "path", "line", "symbol", "message"}
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        assert rule_id in out
+
+
+def test_unparsable_file_exits_two(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    assert main([str(bad)]) == 2
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_empty_directory_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path)]) == 2
+    assert "no python files" in capsys.readouterr().err

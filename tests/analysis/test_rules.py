@@ -1,0 +1,108 @@
+"""Each rule fires on its bad-engine fixture — exact IDs and lines.
+
+The fixtures under ``fixtures/`` are not collected by pytest (no
+``test_`` prefix); they exist to be *analyzed*.  Line numbers asserted
+here are pinned by comments inside the fixtures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.batch_parity import BatchParity
+from repro.analysis.rules.determinism import Determinism
+from repro.analysis.rules.hot_path_purity import HotPathPurity
+from repro.analysis.rules.purge_safety import PurgeSafety
+from repro.analysis.rules.snapshot_completeness import SnapshotCompleteness
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def analyze(fixture: str, rule):
+    report = run_analysis([str(FIXTURES / fixture)], rules=[rule])
+    assert not report.parse_errors
+    return report.findings
+
+
+def test_rule_catalogue_is_complete():
+    assert [rule.rule_id for rule in all_rules()] == [
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R005",
+    ]
+
+
+def test_r001_flags_unsnapshotted_attribute():
+    findings = analyze("bad_r001.py", SnapshotCompleteness())
+    assert [(f.rule, f.line, f.symbol) for f in findings] == [
+        ("R001", 8, "BadSnapshotEngine._cursor")
+    ]
+    assert "'_cursor'" in findings[0].message
+
+
+def test_r002_flags_clock_and_print_on_feed_path():
+    findings = analyze("bad_r002.py", HotPathPurity())
+    flagged = sorted((f.rule, f.line) for f in findings)
+    assert flagged == [("R002", 14), ("R002", 19)]
+    by_line = {f.line: f.message for f in findings}
+    assert "time.time" in by_line[14]
+    assert "print" in by_line[19]
+    # The transitive finding reports how the hot path reaches it.
+    assert "feed" in by_line[19]
+
+
+def test_r003_flags_set_iteration_on_output_path():
+    findings = analyze("bad_r003.py", Determinism())
+    assert [(f.rule, f.line) for f in findings] == [("R003", 14)]
+    assert "sorted" in findings[0].message
+
+
+def test_r004_flags_missing_protocol_methods():
+    findings = analyze("bad_r004.py", BatchParity())
+    assert sorted(f.symbol for f in findings) == [
+        "HalfEngine.feed_batch",
+        "HalfEngine.restore",
+        "HalfEngine.snapshot",
+    ]
+    assert {(f.rule, f.line) for f in findings} == {("R004", 11)}
+
+
+def test_r005_flags_mutation_while_iterating():
+    findings = analyze("bad_r005.py", PurgeSafety())
+    assert [(f.rule, f.line) for f in findings] == [("R005", 11)]
+    assert findings[0].symbol.endswith("LeakyStore.purge_through")
+    assert "_events" in findings[0].message
+
+
+@pytest.mark.parametrize("rule", all_rules(), ids=lambda r: r.rule_id)
+def test_clean_engine_passes_every_rule(rule):
+    assert analyze("clean_engine.py", rule) == []
+
+
+def test_full_run_over_fixture_dir_counts_every_rule():
+    report = run_analysis([str(FIXTURES)])
+    rules_seen = {finding.rule for finding in report.findings}
+    assert rules_seen == {"R001", "R002", "R003", "R004", "R005"}
+    assert report.checked_files == 6
+
+
+def test_r001_catches_field_dropped_from_real_engine(tmp_path):
+    """The ISSUE acceptance check, as a regression test: removing one
+    field from OutOfOrderEngine._snapshot_state must re-introduce an
+    R001 finding that names the attribute."""
+    engine_py = Path(__file__).parents[2] / "src" / "repro" / "core" / "engine.py"
+    source = engine_py.read_text(encoding="utf-8")
+    needle = '"clock": self.clock.snapshot_state(),'
+    assert needle in source
+    mutated = tmp_path / "engine.py"
+    mutated.write_text(source.replace(needle, ""), encoding="utf-8")
+    findings = run_analysis([str(mutated)], rules=[SnapshotCompleteness()]).findings
+    assert any(
+        f.rule == "R001" and "'clock'" in f.message for f in findings
+    ), findings

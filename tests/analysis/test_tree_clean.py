@@ -1,0 +1,29 @@
+"""The shipped tree must satisfy its own contracts.
+
+This is the same gate CI runs; a failure here means an engine change
+broke a contract (fix it) or introduced a justified exception (add a
+``# repro: ignore[...]`` with a reason).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_src_repro_is_clean():
+    report = run_analysis([str(SRC)])
+    assert report.parse_errors == []
+    assert report.findings == [], "\n" + "\n".join(
+        finding.render() for finding in report.findings
+    )
+
+
+def test_suppressions_are_exercised():
+    """Every committed suppression still matches a real finding; stale
+    opt-outs (the finding disappeared) should be deleted, not kept."""
+    report = run_analysis([str(SRC)])
+    assert report.suppressed == 6
