@@ -36,6 +36,7 @@ EXPERIMENTS = [
     ("e15", "bench_e15_multiquery"),
     ("e16", "bench_e16_batch_parallel"),
     ("e17", "bench_e17_recovery"),
+    ("e18", "bench_e18_observability"),
 ]
 
 

@@ -97,6 +97,7 @@ def run_cell(
     arrival: Sequence[Event],
     truth_keys=None,
     batch_size: Optional[int] = None,
+    metrics: bool = False,
 ) -> Dict[str, Any]:
     """One (engine, trace) measurement cell.
 
@@ -109,7 +110,19 @@ def run_cell(
     value feeds chunks of that size through ``feed_batch``, and ``0``
     forces the per-event ``feed`` loop — the reference discipline the
     batch speedups in experiment E16 are measured against.
+
+    *metrics* attaches a fresh observability registry to the engine
+    before feeding; the cell then carries histogram-derived latency
+    quantiles (``lat_hist_*``, in timestamp units) and the full
+    registry snapshot under ``"metrics"``.  Note the instrumented feed
+    path is slower — keep it off for pure wall-time comparisons.
     """
+    registry = None
+    if metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine.enable_observability(metrics=registry)
     start = time.perf_counter()
     if batch_size is None:
         engine.feed_many(arrival)
@@ -151,6 +164,15 @@ def run_cell(
     cell["lat_arrival_p99"] = arrival_summary.p99
     cell["lat_occurrence_mean"] = occurrence_summary.mean
     cell["lat_occurrence_p99"] = occurrence_summary.p99
+    if registry is not None:
+        histogram = registry.get("repro_emission_latency_ts")
+        if histogram is not None:
+            summary = histogram.summary()
+            cell["lat_hist_mean"] = summary["mean"]
+            cell["lat_hist_p50"] = summary["p50"]
+            cell["lat_hist_p90"] = summary["p90"]
+            cell["lat_hist_p99"] = summary["p99"]
+        cell["metrics"] = registry.snapshot_state()
     if truth_keys is not None:
         report: QualityReport = compare_keys(
             truth_keys, produced, shed=engine.stats.events_shed

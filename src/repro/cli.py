@@ -107,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
              "automatically and finish the run — a live fire drill of the "
              "checkpoint/replay path",
     )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="instrument the engine and write metrics snapshots as JSON "
+             "lines to FILE, plus a Prometheus text exposition to FILE.prom",
+    )
+    run.add_argument(
+        "--metrics-every", type=int, default=0, metavar="N",
+        help="with --metrics-out: emit a JSON-lines snapshot every N input "
+             "elements (0 = final snapshot only; forces per-element feed)",
+    )
 
     generate = commands.add_parser("generate", help="write a workload trace file")
     generate.add_argument(
@@ -126,6 +136,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = commands.add_parser("inspect", help="summarise a trace file")
     inspect.add_argument("trace", help="JSON-lines trace path")
+
+    explain = commands.add_parser(
+        "explain",
+        help="replay a trace with lifecycle tracing and explain why matches "
+             "were emitted — or, with --missing, why the engine missed them",
+    )
+    explain.add_argument("--query", required=True, help="query text in the PATTERN language")
+    explain.add_argument("--trace", required=True, help="JSON-lines trace file")
+    explain.add_argument(
+        "--engine", default="ooo",
+        choices=["ooo", "inorder", "reorder", "aggressive"],
+        help="engine family to replay under (families sharing one tracer)",
+    )
+    explain.add_argument("--k", type=int, default=None, help="disorder bound K")
+    explain.add_argument(
+        "--purge", default="eager", help="purge policy: eager | lazy:<interval> | none"
+    )
+    explain.add_argument(
+        "--match", default=None, metavar="EIDS",
+        help="comma-separated event ids; explain emitted matches whose "
+             "contributing events include all of them",
+    )
+    explain.add_argument(
+        "--missing", action="store_true",
+        help="diff against the offline oracle and explain matches the "
+             "engine failed to emit",
+    )
+    explain.add_argument(
+        "--limit", type=int, default=3, metavar="N",
+        help="explain at most N matches per category",
+    )
+    explain.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="tracer ring size in spans (default: ~8 per trace element)",
+    )
 
     return parser
 
@@ -165,8 +210,15 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         if args.validate == "quarantine":
             engine.validation = ValidationPolicy.QUARANTINE
+        if args.metrics_out is not None:
+            from repro.obs import MetricsRegistry
+
+            # A fresh registry per build: after a crash, the rebuilt
+            # engine's restore repopulates it from the checkpoint.
+            engine.enable_observability(metrics=MetricsRegistry())
         return engine
 
+    periodic_lines = ""
     resilient = args.checkpoint_every is not None or args.crash_at is not None
     if resilient:
         if args.checkpoint_dir is None:
@@ -197,7 +249,11 @@ def _command_run(args: argparse.Namespace) -> int:
             runner.run(elements)
     else:
         engine = build_engine()
-        if args.batch_size is None:
+        if args.metrics_out is not None and args.metrics_every > 0:
+            periodic_lines = _feed_with_periodic_metrics(
+                engine, elements, args.metrics_every
+            )
+        elif args.batch_size is None:
             engine.feed_many(elements)
         elif args.batch_size <= 0:
             for element in elements:
@@ -206,6 +262,9 @@ def _command_run(args: argparse.Namespace) -> int:
             for lo in range(0, len(elements), args.batch_size):
                 engine.feed_batch(elements[lo : lo + args.batch_size])
         engine.close()
+
+    if args.metrics_out is not None:
+        _export_metrics(engine, len(elements), args.metrics_out, periodic_lines)
 
     from repro.core.event import Event
 
@@ -240,6 +299,81 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.verify and not report.exact:
         return 1
     return 0
+
+
+def _feed_with_periodic_metrics(engine, elements, every: int) -> str:
+    """Per-element feed capturing a JSON-lines metrics snapshot every *every*.
+
+    Returns the captured lines; the caller appends the final post-close
+    snapshot and writes the file in one place.
+    """
+    import io
+
+    from repro.obs.export import MetricsJsonWriter
+
+    sink = io.StringIO()
+    writer = MetricsJsonWriter(sink)
+    for index, element in enumerate(elements, start=1):
+        engine.feed(element)
+        if index % every == 0:
+            writer.write(index, engine.observability.registry)
+    return sink.getvalue()
+
+
+def _export_metrics(engine, total: int, out_path: str, periodic_lines: str) -> None:
+    """Write the JSON-lines series (periodic + final) and the Prometheus text."""
+    import io
+
+    from repro.obs.export import MetricsJsonWriter, render_prometheus
+
+    registry = engine.observability.registry
+    sink = io.StringIO()
+    MetricsJsonWriter(sink).write(total, registry)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(periodic_lines + sink.getvalue())
+    prom_path = out_path + ".prom"
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(registry))
+    lines = periodic_lines.count("\n") + 1
+    print(f"metrics: {lines} JSON snapshot(s) -> {out_path}; exposition -> {prom_path}")
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.obs import explain as explain_mod
+
+    pattern = parse(args.query)
+    elements = load_trace(args.trace)
+    engine = make_engine(
+        args.engine, pattern, k=args.k, purge=_parse_purge(args.purge)
+    )
+    tracer = explain_mod.replay_with_tracing(engine, elements, capacity=args.capacity)
+    print("\n".join(explain_mod.summary_lines(tracer)))
+    print()
+
+    status = 0
+    if args.match is not None:
+        try:
+            eids = [int(part) for part in args.match.split(",") if part.strip()]
+        except ValueError:
+            raise ReproError(f"--match expects comma-separated event ids, got {args.match!r}")
+        targets = explain_mod.emitted_matches(engine, eids)
+        if not targets:
+            print(f"no emitted match contains event ids {eids}")
+            status = 1
+        for match in targets[: args.limit]:
+            print(explain_mod.explain_match(tracer, match))
+            print()
+    if args.missing:
+        missing, total = explain_mod.missing_matches(pattern, elements, engine)
+        print(f"oracle: {total} matches, engine missed {len(missing)}")
+        for match in missing[: args.limit]:
+            print(explain_mod.explain_missing(tracer, match))
+            print()
+    if args.match is None and not args.missing:
+        for match in explain_mod.emitted_matches(engine)[: args.limit]:
+            print(explain_mod.explain_match(tracer, match))
+            print()
+    return status
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -305,6 +439,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_run(args)
         if args.command == "generate":
             return _command_generate(args)
+        if args.command == "explain":
+            return _command_explain(args)
         return _command_inspect(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -151,6 +151,8 @@ class AggressiveEngine(OutOfOrderEngine):
                 self._fresh_revocations.append(revocation)
                 self._revoked_keys.add(match.key())
                 self.stats.revocations += 1
+                if self._obs is not None:
+                    self._obs.note_revoked(self, match, negative)
             else:
                 survivors.append(entry)
         if len(survivors) != len(self._exposed):

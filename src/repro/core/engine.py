@@ -107,6 +107,10 @@ class Engine:
         self.validation = ValidationPolicy.RAISE
         self._arrival = 0
         self._closed = False
+        # Observability bundle (repro.obs.hooks.Observability), attached
+        # via enable_observability().  None by default: the disabled hot
+        # path pays exactly one attribute check per element.
+        self._obs = None
 
     # -- public API ------------------------------------------------------------
 
@@ -114,6 +118,8 @@ class Engine:
         """Process one stream element; returns matches emitted *now*."""
         if self._closed:
             raise EngineStateError(f"{type(self).__name__} is closed")
+        if self._obs is not None:
+            return self._obs.feed(self, element)
         if malformed_reason(element) is not None:
             if self.validation is ValidationPolicy.QUARANTINE:
                 self.stats.events_quarantined += 1
@@ -153,6 +159,8 @@ class Engine:
             return []
         emitted = self._flush()
         self._closed = True
+        if self._obs is not None:
+            self._obs.after_close(self, emitted)
         return emitted
 
     def run(self, elements: Iterable[StreamElement]) -> List[Match]:
@@ -177,6 +185,27 @@ class Engine:
     def state_size(self) -> int:
         """Total retained state in instances/events (memory experiments)."""
         raise NotImplementedError
+
+    # -- observability -----------------------------------------------------------
+
+    def enable_observability(self, tracer=None, metrics=None):
+        """Attach lifecycle tracing and/or a metrics registry.
+
+        *tracer* is a :class:`repro.obs.Tracer` (or None for metrics
+        only); *metrics* is a :class:`repro.obs.MetricsRegistry` (or
+        None for tracing only).  Returns the attached bundle.  Feeding
+        then routes through the instrumented mirror path — observably
+        identical results and counters, at instrumented cost.
+        """
+        from repro.obs.hooks import Observability
+
+        self._obs = Observability(self, tracer=tracer, registry=metrics)
+        return self._obs
+
+    @property
+    def observability(self):
+        """The attached bundle, or None when running uninstrumented."""
+        return self._obs
 
     # -- checkpoint / restore ----------------------------------------------------
 
@@ -220,13 +249,18 @@ class Engine:
 
     def _base_state(self) -> dict:
         """State every engine shares: flow counters and the emission history."""
-        return {
+        state = {
             "arrival": self._arrival,
             "closed": self._closed,
             "stats": self.stats.as_dict(),
             "results": [snapshots.encode_match(m) for m in self.results],
             "emissions": [(r.emitted_seq, r.emitted_clock) for r in self.emissions],
         }
+        # Metrics ride along so a crash-recovered engine resumes its
+        # counters and histograms, not just its match state.
+        if self._obs is not None and self._obs.registry is not None:
+            state["metrics"] = self._obs.registry.snapshot_state()
+        return state
 
     def _restore_base(self, state: dict) -> None:
         self._arrival = state["arrival"]
@@ -243,6 +277,11 @@ class Engine:
             EmissionRecord(match, seq, clk)
             for match, (seq, clk) in zip(self.results, state["emissions"])
         ]
+        # Restore in place: handles registered before the snapshot was
+        # taken (by this engine, the runner, the shed policy) stay valid.
+        if self._obs is not None and self._obs.registry is not None:
+            if "metrics" in state:
+                self._obs.registry.restore_state(state["metrics"])
 
     def _decode_match(self, encoded: dict) -> Match:
         return snapshots.decode_match(self.pattern, encoded)
@@ -388,20 +427,32 @@ class OutOfOrderEngine(Engine):
         if excess <= 0:
             return
         shed = 0
+        # Victim preview is tracing-only: the uninstrumented path never
+        # materialises these lists.
+        collect = self._obs is not None and self._obs.tracing
+        casualties: List[Event] = []
         if policy.mode is ShedMode.DROP_BY_TYPE:
             for victim in policy.victims:
                 if excess <= 0:
                     break
                 for index, step in enumerate(self.pattern.positive_steps):
                     if excess > 0 and step.etype == victim:
+                        if collect:
+                            casualties.extend(self.stacks[index].oldest_events(excess))
                         dropped = self.stacks[index].drop_oldest(excess)
                         shed += dropped
                         excess -= dropped
                 if excess > 0:
+                    if collect:
+                        casualties.extend(self.negatives.oldest_events(victim, excess))
                     dropped = self.negatives.drop_oldest(victim, excess)
                     shed += dropped
                     excess -= dropped
                 if excess > 0:
+                    if collect:
+                        casualties.extend(
+                            self.kleene_store.oldest_events(victim, excess)
+                        )
                     dropped = self.kleene_store.drop_oldest(victim, excess)
                     shed += dropped
                     excess -= dropped
@@ -426,11 +477,17 @@ class OutOfOrderEngine(Engine):
             if best_key is None:
                 break
             if victim_stack is not None:
+                if collect:
+                    casualties.extend(victim_stack.oldest_events(1))
                 shed += victim_stack.drop_oldest(1)
             else:
+                if collect:
+                    casualties.extend(victim_store.oldest_events(victim_type, 1))
                 shed += victim_store.drop_oldest(victim_type, 1)
             excess -= 1
         self.stats.events_shed += shed
+        if collect and casualties:
+            self._obs.note_shed(self, casualties)
 
     # -- processing ----------------------------------------------------------------
 
@@ -479,6 +536,8 @@ class OutOfOrderEngine(Engine):
 
         self._release_ripe(emitted)
         if self.purge_policy.due():
+            if self._obs is not None:
+                self._obs.note_purge(self)
             self.purger.run(
                 self.clock.horizon(), self.stacks, self.negatives,
                 self.stats, kleene=self.kleene_store,
@@ -492,6 +551,8 @@ class OutOfOrderEngine(Engine):
         emitted: List[Match] = []
         self._release_ripe(emitted)
         if self.purge_policy.due():
+            if self._obs is not None:
+                self._obs.note_purge(self)
             self.purger.run(
                 self.clock.horizon(), self.stacks, self.negatives,
                 self.stats, kleene=self.kleene_store,
@@ -544,12 +605,13 @@ class OutOfOrderEngine(Engine):
         """
         if self._closed:
             raise EngineStateError(f"{type(self).__name__} is closed")
-        if self.shed is not None:
-            # Shedding re-checks the state bound after every element —
+        if self.shed is not None or self._obs is not None:
+            # Shedding re-checks the state bound after every element,
+            # and observability classifies per-element stat deltas —
             # bookkeeping the fused loop does not model.  Take the
             # reference loop (same precedent as the spill-backed
-            # reorder buffer); overload survival, not throughput, is
-            # what a shedding configuration is optimising for.
+            # reorder buffer); overload survival / introspection, not
+            # throughput, is what those configurations optimise for.
             return Engine.feed_batch(self, elements)
         emitted: List[Match] = []
         stats = self.stats
@@ -815,12 +877,16 @@ class OutOfOrderEngine(Engine):
         else:
             self.pending.add(match, point)
             self.stats.matches_pending = len(self.pending)
+            if self._obs is not None:
+                self._obs.note_pending(self, match, point)
 
     def _decide(self, match: Match, emitted: List[Match]) -> None:
         if self.pattern.has_negation and violated(
             self.pattern, match, self.negatives, self.stats
         ):
             self.stats.matches_cancelled += 1
+            if self._obs is not None:
+                self._obs.note_cancelled(self, match, "negation violated at seal")
             return
         if self.pattern.has_kleene:
             collections = collect_kleene(
@@ -828,6 +894,8 @@ class OutOfOrderEngine(Engine):
             )
             if collections is None:
                 self.stats.matches_cancelled += 1
+                if self._obs is not None:
+                    self._obs.note_cancelled(self, match, "empty kleene collection")
                 return
             match = match.with_collections(collections)
         self._emit(match, self.clock.now)

@@ -229,6 +229,10 @@ class InOrderEngine(Engine):
         """
         if self._closed:
             raise EngineStateError(f"{type(self).__name__} is closed")
+        if self._obs is not None:
+            # Observability classifies per-element stat deltas the fused
+            # loop does not model; take the reference loop.
+            return Engine.feed_batch(self, elements)
         emitted: List[Match] = []
         stats = self.stats
         clock = self.clock
@@ -486,12 +490,16 @@ class InOrderEngine(Engine):
         else:
             self.pending.add(match, point)
             self.stats.matches_pending = len(self.pending)
+            if self._obs is not None:
+                self._obs.note_pending(self, match, point)
 
     def _decide(self, match: Match, emitted: List[Match]) -> None:
         if self.pattern.has_negation and violated(
             self.pattern, match, self.negatives, self.stats
         ):
             self.stats.matches_cancelled += 1
+            if self._obs is not None:
+                self._obs.note_cancelled(self, match, "negation violated at seal")
             return
         if self.pattern.has_kleene:
             collections = collect_kleene(
@@ -499,6 +507,8 @@ class InOrderEngine(Engine):
             )
             if collections is None:
                 self.stats.matches_cancelled += 1
+                if self._obs is not None:
+                    self._obs.note_cancelled(self, match, "empty kleene collection")
                 return
             match = match.with_collections(collections)
         self._emit(match, self.clock.now)

@@ -292,16 +292,28 @@ def _run_partition(payload):
     """Pool worker: run one partition's event slice through a fresh engine.
 
     Module-level so both pool backends can pickle it; returns the
-    partition's final matches plus its work counters.
+    partition's final matches, its work counters, and — when the parent
+    engine is instrumented — a metrics-registry snapshot for the
+    deterministic per-worker merge.
     """
-    pattern, k, purge_mode, purge_interval, late_policy, events = payload
+    pattern, k, purge_mode, purge_interval, late_policy, events, instrument = payload
     purge = None
     if purge_mode is not None:
         purge = PurgePolicy(purge_mode, purge_interval)
     engine = OutOfOrderEngine(pattern, k=k, purge=purge, late_policy=late_policy)
-    engine.feed_batch(events)
-    engine.close()
-    return engine.results, engine.stats
+    metrics_state = None
+    if instrument:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine.enable_observability(metrics=registry)
+        engine.feed_batch(events)
+        engine.close()
+        metrics_state = registry.snapshot_state()
+    else:
+        engine.feed_batch(events)
+        engine.close()
+    return engine.results, engine.stats, metrics_state
 
 
 class ParallelPartitionedEngine(PartitionedEngine):
@@ -475,6 +487,7 @@ class ParallelPartitionedEngine(PartitionedEngine):
     def _flush(self) -> List[Match]:
         if self.workers == 1:
             return PartitionedEngine._flush(self)
+        instrument = self._obs is not None and self._obs.registry is not None
         payloads = [
             (
                 self.pattern,
@@ -483,13 +496,20 @@ class ParallelPartitionedEngine(PartitionedEngine):
                 self._purge_interval,
                 self.late_policy,
                 bucket,
+                instrument,
             )
             for bucket in self._routed.values()
         ]
         outcomes = self._map(payloads)
-        self._worker_stats = [stats for _, stats in outcomes]
+        self._worker_stats = [stats for _, stats, _ in outcomes]
+        if instrument:
+            # Fold worker registries in routing-insertion order; the
+            # merge itself is order-insensitive (counters add, gauges
+            # max), so the result is deterministic regardless of pool
+            # scheduling.
+            self._obs.merge_worker_states([m for _, _, m in outcomes])
         merged: List[Match] = []
-        for matches, _ in outcomes:
+        for matches, _, _ in outcomes:
             merged.extend(matches)
         merged.sort(key=lambda m: (m.end_ts, m.start_ts, m.key()))
         emitted: List[Match] = []

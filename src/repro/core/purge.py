@@ -172,3 +172,32 @@ class Purger:
         if stats is not None:
             stats.purge_runs += 1
         return dropped
+
+    def peek(
+        self,
+        horizon: int,
+        stacks: StackSet,
+        negatives: Optional[NegativeStore] = None,
+        kleene: Optional[NegativeStore] = None,
+    ) -> list:
+        """The events :meth:`run` would evict at *horizon*, without evicting.
+
+        Shares the threshold arithmetic with :meth:`run` so a preview
+        taken immediately before a purge lists exactly its victims.
+        Deduplicated by event identity (the same event can sit in
+        several stacks) and returned in (ts, eid) order for stable
+        trace output.  Tracing-only — never on the uninstrumented path.
+        """
+        if horizon < 0:
+            return []
+        victims = {}
+        final = self.pattern_length - 1
+        for index, stack in enumerate(stacks):
+            cut = horizon + 1 if index == final else horizon - self.window
+            for event in stack.events_through(cut):
+                victims[event.eid] = event
+        for store in (negatives, kleene):
+            if store is not None:
+                for event in store.events_through(horizon - self.window):
+                    victims[event.eid] = event
+        return sorted(victims.values(), key=lambda e: (e.ts, e.eid))

@@ -227,6 +227,26 @@ class ResilientRunner:
         self.recovered = False
         self.replayed_elements = 0
         self.checkpoints_written = 0
+        # Runner-level metrics live in the engine's registry (when one is
+        # attached), so they checkpoint/restore with the engine state.
+        # Registered before _recover so restore finds live handles.
+        self._c_wal = self._c_checkpoints = None
+        self._c_recoveries = self._c_replayed = None
+        obs = getattr(engine, "observability", None)
+        if obs is not None and obs.registry is not None:
+            registry = obs.registry
+            self._c_wal = registry.counter(
+                "repro_runner_wal_records_total", "elements appended to the WAL"
+            )
+            self._c_checkpoints = registry.counter(
+                "repro_runner_checkpoints_total", "checkpoints written"
+            )
+            self._c_recoveries = registry.counter(
+                "repro_runner_recoveries_total", "crash recoveries performed"
+            )
+            self._c_replayed = registry.counter(
+                "repro_runner_replayed_total", "WAL elements replayed during recovery"
+            )
         if self._checkpoint_path.exists() or self._wal_path.exists():
             self._recover()
 
@@ -281,9 +301,15 @@ class ResilientRunner:
                 f"claims {checkpoint_seq} were logged"
             )
         self._seq = checkpoint_seq
+        # After engine.restore (above): the restored registry values are
+        # the baseline this recovery adds to.
+        if self._c_recoveries is not None:
+            self._c_recoveries.inc()
         for record in elements[checkpoint_seq:]:
             self._apply(decode_element(record), logged=True)
             self.replayed_elements += 1
+            if self._c_replayed is not None:
+                self._c_replayed.inc()
         if saw_close and not self._engine_closed:
             self._replay_close()
         if self._suppress:
@@ -411,6 +437,8 @@ class ResilientRunner:
             self._wal_handle = self._wal_path.open("a", encoding="utf-8")
         self._wal_handle.write(line + "\n")
         self._wal_dirty = True
+        if self._c_wal is not None:
+            self._c_wal.inc()
 
     def _flush_wal(self) -> None:
         if self._wal_dirty and self._wal_handle is not None:
@@ -444,6 +472,8 @@ class ResilientRunner:
             handle.write(payload)
         os.replace(tmp, self._checkpoint_path)
         self.checkpoints_written += 1
+        if self._c_checkpoints is not None:
+            self._c_checkpoints.inc()
 
     # -- diagnostics ------------------------------------------------------------------
 

@@ -100,6 +100,26 @@ class ReorderingEngine(Engine):
             )
         self.buffer_peak = 0
 
+    # -- observability -----------------------------------------------------------
+
+    def enable_observability(self, tracer=None, metrics=None):
+        """Instrument this tier and, when tracing, the inner engine too.
+
+        The inner engine shares the tracer under the ``"inner"`` stream
+        tag — so a lifecycle shows both the buffer residency (outer
+        BUFFERED/RELEASED spans) and the in-order admission/match story
+        — but *not* the registry: flow metrics are reported once, at
+        this tier, never double-counted.
+        """
+        obs = super().enable_observability(tracer=tracer, metrics=metrics)
+        if obs.tracing:
+            from repro.obs.hooks import Observability
+
+            self.inner._obs = Observability(
+                self.inner, tracer=obs.tracer, registry=None, stream="inner"
+            )
+        return obs
+
     # -- state ----------------------------------------------------------------
 
     def state_size(self) -> int:
@@ -182,6 +202,8 @@ class ReorderingEngine(Engine):
             heapq.heappush(self._buffer, (event.ts, event.eid, event))
         if self.buffer_size() > self.buffer_peak:
             self.buffer_peak = self.buffer_size()
+        if self._obs is not None:
+            self._obs.note_buffered(self, event)
         return self._drain()
 
     def _on_punctuation(self, punctuation: Punctuation) -> List[Match]:
@@ -201,7 +223,9 @@ class ReorderingEngine(Engine):
         spill-backed configuration keeps the reference loop; its cost is
         dominated by segment I/O, not call dispatch.
         """
-        if self._spill is not None:
+        if self._spill is not None or self._obs is not None:
+            # Segment I/O (spill) or per-element classification (obs)
+            # dominates; take the reference loop.
             return Engine.feed_batch(self, elements)
         if self._closed:
             raise EngineStateError(f"{type(self).__name__} is closed")
@@ -301,10 +325,14 @@ class ReorderingEngine(Engine):
         emitted: List[Match] = []
         if self._spill is not None:
             for event in self._spill.release(horizon):
+                if self._obs is not None:
+                    self._obs.note_released(self, event)
                 emitted.extend(self._relay(self.inner.feed(event)))
             return emitted
         while self._buffer and self._buffer[0][0] <= horizon:
             __, __, event = heapq.heappop(self._buffer)
+            if self._obs is not None:
+                self._obs.note_released(self, event)
             emitted.extend(self._relay(self.inner.feed(event)))
         return emitted
 
@@ -331,10 +359,14 @@ class ReorderingEngine(Engine):
         emitted: List[Match] = []
         if self._spill is not None:
             for event in self._spill.drain():
+                if self._obs is not None:
+                    self._obs.note_released(self, event)
                 emitted.extend(self._relay(self.inner.feed(event)))
             self._spill.close()
         while self._buffer:
             __, __, event = heapq.heappop(self._buffer)
+            if self._obs is not None:
+                self._obs.note_released(self, event)
             emitted.extend(self._relay(self.inner.feed(event)))
         emitted.extend(self._relay(self.inner.close()))
         for name in self._FOLDED_COUNTERS:

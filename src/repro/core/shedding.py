@@ -82,6 +82,19 @@ class ShedPolicy:
         """Hashable identity for snapshot config verification."""
         return (self.mode.value, self.max_state, self.victims)
 
+    def register_metrics(self, registry) -> None:
+        """Publish the configured bound to a metrics registry.
+
+        Called by the observability bundle when a shed-configured engine
+        is instrumented: the bound is the denominator operators need
+        next to ``repro_state_size_now`` to see how close the engine
+        runs to its shedding threshold (casualty counts live in
+        ``repro_shed_total``, maintained by the bundle).
+        """
+        registry.gauge(
+            "repro_shed_bound", "configured state bound that triggers shedding"
+        ).set(self.max_state)
+
     def __repr__(self) -> str:
         if self.mode is ShedMode.DROP_BY_TYPE:
             return (

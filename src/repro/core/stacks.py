@@ -156,6 +156,17 @@ class SortedStack:
             del self._keys[:cut]
         return cut
 
+    # -- non-destructive previews (observability) -------------------------------
+
+    def events_through(self, ts: int) -> List[Event]:
+        """The events :meth:`purge_through` *would* drop at *ts*, unchanged."""
+        cut = bisect_right(self._keys, (ts, float("inf")))
+        return [instance.event for instance in self._instances[:cut]]
+
+    def oldest_events(self, count: int) -> List[Event]:
+        """The events :meth:`drop_oldest` *would* shed, unchanged."""
+        return [instance.event for instance in self._instances[:count]]
+
     def clear(self) -> None:
         self.purged += len(self._instances)
         self._instances.clear()
@@ -279,6 +290,22 @@ class NegativeStore:
             del keys[:cut]
             del events[:cut]
         return cut
+
+    # -- non-destructive previews (observability) -------------------------------
+
+    def events_through(self, ts: int) -> List[Event]:
+        """The events :meth:`purge_through` *would* drop at *ts*, unchanged."""
+        victims: List[Event] = []
+        for keys, events in self._by_type.values():
+            cut = bisect_right(keys, (ts, float("inf")))
+            victims.extend(events[:cut])
+        return victims
+
+    def oldest_events(self, etype: str, count: int) -> List[Event]:
+        """The events :meth:`drop_oldest` *would* shed, unchanged."""
+        if etype not in self._by_type:
+            return []
+        return self._by_type[etype][1][:count]
 
     def size(self) -> int:
         return sum(len(events) for _, events in self._by_type.values())

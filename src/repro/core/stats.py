@@ -75,4 +75,6 @@ class EngineStats:
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        if not parts:
+            return "EngineStats()"
         return f"EngineStats({parts})"

@@ -13,6 +13,7 @@ from repro.metrics.reporter import (
     format_cell,
     print_series,
     print_table,
+    render_histogram,
     render_series,
     render_table,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "occurrence_latencies",
     "print_series",
     "print_table",
+    "render_histogram",
     "render_series",
     "render_table",
     "repeat_timed",

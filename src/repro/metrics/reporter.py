@@ -68,6 +68,30 @@ def render_series(
     return render_table(title, columns, rows, note=note)
 
 
+def render_histogram(title: str, histogram: Any, note: str = "") -> str:
+    """An observability histogram as a bucket table plus a summary line.
+
+    Accepts any object with the :class:`repro.obs.metrics.Histogram`
+    shape (``bounds``, ``counts``, ``summary()``); kept duck-typed so
+    the reporter stays importable without the obs package.
+    """
+    rows: List[Sequence[Any]] = []
+    upper_bounds = [str(bound) for bound in histogram.bounds] + ["+Inf"]
+    for bound, count in zip(upper_bounds, histogram.counts):
+        rows.append([f"<= {bound}", count])
+    summary = histogram.summary()
+    note_parts = [
+        f"count={summary['count']}",
+        f"mean={summary['mean']:.2f}",
+        f"p50={summary['p50']:g}",
+        f"p90={summary['p90']:g}",
+        f"p99={summary['p99']:g}",
+    ]
+    if note:
+        note_parts.append(note)
+    return render_table(title, ["bucket", "count"], rows, note=" ".join(note_parts))
+
+
 def print_table(*args, **kwargs) -> None:
     """:func:`render_table` straight to stdout."""
     print(render_table(*args, **kwargs))

@@ -1,0 +1,88 @@
+"""Runtime observability: lifecycle tracing, metrics, exporters, explain.
+
+Zero-dependency instrumentation for every engine family.  Disabled by
+default: an engine without an attached bundle pays exactly one
+``self._obs is None`` attribute check per element (benchmarked in
+``benchmarks/bench_e18_observability.py``).  Enable with::
+
+    registry = MetricsRegistry()
+    tracer = Tracer(capacity=65536)
+    engine.enable_observability(tracer=tracer, metrics=registry)
+
+and export with :func:`render_prometheus` / :class:`MetricsJsonWriter`,
+or replay a trace interactively with ``repro explain``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    STATE_BUCKETS,
+    TICK_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    ADMITTED,
+    BUFFERED,
+    IGNORED,
+    LATE_DROPPED,
+    MATCH_CANCELLED,
+    MATCH_EMITTED,
+    MATCH_PENDING,
+    MATCH_REVOKED,
+    PREDICATE_REJECTED,
+    PROCESSED,
+    PUNCTUATION,
+    PURGED,
+    QUARANTINED,
+    RELEASED,
+    SHED,
+    STAGES,
+    NullTracer,
+    Span,
+    Tracer,
+)
+from repro.obs.hooks import Observability
+from repro.obs.export import (
+    MetricsJsonWriter,
+    parse_prometheus,
+    read_metrics_jsonl,
+    render_prometheus,
+)
+
+__all__ = [
+    "ADMITTED",
+    "BUFFERED",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "IGNORED",
+    "LATENCY_BUCKETS",
+    "LATE_DROPPED",
+    "MATCH_CANCELLED",
+    "MATCH_EMITTED",
+    "MATCH_PENDING",
+    "MATCH_REVOKED",
+    "MetricsJsonWriter",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "PREDICATE_REJECTED",
+    "PROCESSED",
+    "PUNCTUATION",
+    "PURGED",
+    "QUARANTINED",
+    "RELEASED",
+    "SHED",
+    "STAGES",
+    "STATE_BUCKETS",
+    "Span",
+    "TICK_BUCKETS",
+    "Tracer",
+    "parse_prometheus",
+    "read_metrics_jsonl",
+    "render_prometheus",
+]

@@ -1,0 +1,99 @@
+"""Exporters: Prometheus text exposition and JSON-lines emission.
+
+Both formats are views over :meth:`MetricsRegistry.snapshot_state` — the
+same payload the checkpoint layer persists — so anything a scraper sees
+can be reconstructed from a checkpoint and vice versa.
+
+The Prometheus renderer follows the text exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series
+with ``le`` labels ending in ``+Inf``, plus ``_sum`` and ``_count`` for
+histograms.  No timestamps are emitted — the stream's clock is logical,
+and scrape time is the collector's business.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = metric.name
+        if metric.help:
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if metric.kind == "histogram":
+            cumulative = 0
+            for bound, bucket_count in zip(metric.bounds, metric.counts):
+                cumulative += bucket_count
+                lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+            cumulative += metric.counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {metric.total}")
+            lines.append(f"{name}_count {metric.count}")
+        else:
+            lines.append(f"{name} {metric.value}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text produced by :func:`render_prometheus` back to samples.
+
+    Returns ``{sample_name_with_labels: value}`` — enough for the
+    round-trip tests and for quick assertions in operational tooling.
+    Raises ``ValueError`` on any line that is neither a comment nor a
+    well-formed ``name[{labels}] value`` sample.
+    """
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, raw = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        value = float(raw)
+        samples[name] = int(value) if value.is_integer() else value
+    return samples
+
+
+class MetricsJsonWriter:
+    """Periodic JSON-lines emission of registry snapshots.
+
+    Each line is ``{"seq": N, "metrics": <snapshot_state payload>}`` —
+    the metrics half feeds straight back into
+    :meth:`MetricsRegistry.restore_state`, which is what the CLI
+    round-trip test exercises.
+    """
+
+    __slots__ = ("_sink", "written")
+
+    def __init__(self, sink: IO[str]):
+        self._sink = sink
+        self.written = 0
+
+    def write(self, seq: int, registry: MetricsRegistry) -> None:
+        record = {"seq": seq, "metrics": registry.snapshot_state()}
+        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+        self.written += 1
+
+    def flush(self) -> None:
+        self._sink.flush()
+
+
+def read_metrics_jsonl(text: str) -> List[dict]:
+    """Parse JSON-lines written by :class:`MetricsJsonWriter`."""
+    records = []
+    for line in text.splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records

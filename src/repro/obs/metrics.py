@@ -1,0 +1,317 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+Zero-dependency and deliberately boring: the registry is a plain
+insertion-ordered dict of metric objects, every metric is a couple of
+ints, and nothing here touches the wall clock — values are *logical*
+(timestamp units, event counts, algorithmic work ticks), so instrumented
+runs stay exactly as deterministic and replayable as plain ones.
+
+Three properties the rest of the observability layer leans on:
+
+* **handles stay valid across restore** — engines register metrics once
+  and keep direct references; :meth:`MetricsRegistry.restore_state`
+  mutates existing objects in place instead of rebinding names, so a
+  crash-recovered engine keeps incrementing the same counters it
+  registered before the snapshot was taken;
+* **state is JSON-able** — :meth:`MetricsRegistry.snapshot_state`
+  round-trips through ``json.dumps``/``loads`` unchanged, which is what
+  the JSON-lines exporter and the checkpoint integration rely on;
+* **merging is deterministic** — :meth:`MetricsRegistry.merge_state`
+  folds a worker's snapshot in by insertion order (counters and
+  histogram buckets add, gauges max-merge like the peak-state counter),
+  so the parallel engine's per-worker merge is a pure function of the
+  routing order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.latency import percentile_index
+
+#: Default histogram bucket upper bounds (``le`` semantics, ascending).
+DEFAULT_BUCKETS: Tuple[int, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+
+#: Per-event algorithmic work (partials + predicate evals + triggers).
+TICK_BUCKETS: Tuple[int, ...] = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+#: Emission latency / buffer residence in timestamp units.
+LATENCY_BUCKETS: Tuple[int, ...] = (0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+#: Retained-state size in stored elements.
+STATE_BUCKETS: Tuple[int, ...] = (
+    0, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time sample (state size, buffer depth, bounds)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` semantics.
+
+    An observation lands in the first bucket whose upper bound is
+    ``>= value``; anything above the last bound goes to the implicit
+    ``+Inf`` overflow bucket.  Bounds are fixed at registration, so two
+    histograms with the same name always merge cleanly — the property
+    the per-worker merge and the checkpoint round-trip depend on.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[int] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(buckets)
+        if not bounds or any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram buckets must be non-empty and strictly ascending, got {bounds!r}"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # last = +Inf
+        self.total = 0
+        self.count = 0
+
+    def observe(self, value: int) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation.
+
+        Uses the same ceil-rank convention as
+        :func:`repro.metrics.latency.percentile_index`; observations in
+        the overflow bucket report ``inf`` (the histogram only knows
+        they exceeded the last bound).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = percentile_index(self.count, q) + 1
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return float(self.bounds[index])
+                return float("inf")
+        return float("inf")
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ "
+                f"({self.bounds!r} vs {other.bounds!r})"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.total += other.total
+        self.count += other.count
+
+    def summary(self) -> Dict[str, float]:
+        """Compact distribution summary for report tables."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, count={self.count}, mean={self.mean():.2f})"
+
+
+class MetricsRegistry:
+    """Insertion-ordered collection of metrics, keyed by name.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing object (engines, the reorder tier, and the resilient
+    runner can all register against one registry without coordination),
+    but re-registering under a different kind or bucket layout raises —
+    a name collision would silently corrupt whichever party registered
+    first.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[int] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._register(name, Histogram, lambda: Histogram(name, help, buckets))
+        if metric.bounds != tuple(buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.bounds!r}, not {tuple(buckets)!r}"
+            )
+        return metric
+
+    def _register(self, name: str, kind: type, build: Callable[[], Any]) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = build()
+        elif type(metric) is not kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {kind.kind}"
+            )
+        return metric
+
+    # -- access -----------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def metrics(self) -> List[Any]:
+        return list(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- state ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Full registry contents as a JSON-able dict."""
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, Any] = {}
+        histograms: Dict[str, Any] = {}
+        for name, metric in self._metrics.items():
+            if metric.kind == "counter":
+                counters[name] = {"help": metric.help, "value": metric.value}
+            elif metric.kind == "gauge":
+                gauges[name] = {"help": metric.help, "value": metric.value}
+            else:
+                histograms[name] = {
+                    "help": metric.help,
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "total": metric.total,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite registry contents from :meth:`snapshot_state` output.
+
+        Existing metric objects are mutated in place (live handles stay
+        valid); metrics present in the snapshot but not yet registered
+        are created; registered metrics absent from the snapshot reset
+        to zero — the same full-overwrite convention as
+        :meth:`repro.core.stats.EngineStats.restore_from`.
+        """
+        snapshot_names = set()
+        for name, payload in state.get("counters", {}).items():
+            snapshot_names.add(name)
+            self.counter(name, payload.get("help", "")).value = payload["value"]
+        for name, payload in state.get("gauges", {}).items():
+            snapshot_names.add(name)
+            self.gauge(name, payload.get("help", "")).value = payload["value"]
+        for name, payload in state.get("histograms", {}).items():
+            snapshot_names.add(name)
+            metric = self.histogram(
+                name, payload.get("help", ""), tuple(payload["bounds"])
+            )
+            metric.counts = list(payload["counts"])
+            metric.total = payload["total"]
+            metric.count = payload["count"]
+        for name, metric in self._metrics.items():
+            if name in snapshot_names:
+                continue
+            if metric.kind == "histogram":
+                metric.counts = [0] * (len(metric.bounds) + 1)
+                metric.total = 0
+                metric.count = 0
+            else:
+                metric.value = 0
+
+    def merge_state(
+        self, state: dict, rename: Optional[Callable[[str], str]] = None
+    ) -> None:
+        """Fold a :meth:`snapshot_state` payload into this registry.
+
+        Counters and histograms accumulate; gauges max-merge (a merged
+        gauge reports the largest per-source sample, mirroring how
+        ``EngineStats.merge`` treats ``peak_state_size``).  *rename*
+        maps incoming names (the parallel engine prefixes worker
+        metrics so they never collide with the router's own).
+        """
+        transform = rename if rename is not None else (lambda name: name)
+        for name, payload in state.get("counters", {}).items():
+            self.counter(transform(name), payload.get("help", "")).inc(payload["value"])
+        for name, payload in state.get("gauges", {}).items():
+            gauge = self.gauge(transform(name), payload.get("help", ""))
+            if payload["value"] > gauge.value:
+                gauge.value = payload["value"]
+        for name, payload in state.get("histograms", {}).items():
+            metric = self.histogram(
+                transform(name), payload.get("help", ""), tuple(payload["bounds"])
+            )
+            incoming = Histogram(name, buckets=tuple(payload["bounds"]))
+            incoming.counts = list(payload["counts"])
+            incoming.total = payload["total"]
+            incoming.count = payload["count"]
+            metric.merge(incoming)

@@ -157,6 +157,21 @@ class SpillingReorderBuffer:
     def __len__(self) -> int:
         return self.memory_size() + self.disk_size()
 
+    def metrics(self) -> dict:
+        """Point-in-time tier sizes and lifetime counters, for exporters.
+
+        Keys mirror the observability layer's metric names (gauge-style
+        sizes plus monotone totals) so the bundle can poll one dict
+        instead of five attributes.
+        """
+        return {
+            "memory_events": self.memory_size(),
+            "disk_events": self.disk_size(),
+            "segments": len(self._runs),
+            "spilled_total": self.spilled_events,
+            "shed_total": self.shed_events,
+        }
+
     # -- operations -----------------------------------------------------------------
 
     def push(self, event: Event) -> None:

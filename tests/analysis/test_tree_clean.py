@@ -27,3 +27,31 @@ def test_suppressions_are_exercised():
     opt-outs (the finding disappeared) should be deleted, not kept."""
     report = run_analysis([str(SRC)])
     assert report.suppressed == 6
+
+
+def test_obs_subtree_is_clean_without_suppressions():
+    """The observability layer passes every rule with ZERO opt-outs.
+
+    Its hot-path hooks are reached only behind the engines' ``_obs is
+    None`` guard, so they must not need purity/determinism exceptions;
+    if a change makes one necessary, justify it here — don't just add
+    the ignore.
+    """
+    report = run_analysis([str(SRC / "obs")])
+    assert report.parse_errors == []
+    assert report.findings == [], "\n" + "\n".join(
+        finding.render() for finding in report.findings
+    )
+    assert report.suppressed == 0
+
+
+def test_obs_sources_carry_no_ignore_comments():
+    """Belt and braces for the above: no ``# repro: ignore`` markers at
+    all in ``src/repro/obs`` — a suppression that no rule exercises
+    would silently mask future regressions."""
+    for path in sorted((SRC / "obs").glob("*.py")):
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            assert "repro: ignore" not in line, (
+                f"{path.name}:{number} carries a suppression; the obs "
+                "layer is expected to pass all rules unaided"
+            )

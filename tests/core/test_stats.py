@@ -1,0 +1,31 @@
+"""EngineStats counter bundle."""
+
+from __future__ import annotations
+
+from repro.core.stats import EngineStats
+
+
+class TestRepr:
+    def test_all_zero_renders_bare(self):
+        assert repr(EngineStats()) == "EngineStats()"
+
+    def test_only_nonzero_counters_render(self):
+        stats = EngineStats()
+        stats.events_in = 3
+        stats.matches_emitted = 1
+        assert repr(stats) == "EngineStats(events_in=3, matches_emitted=1)"
+
+    def test_zeroed_after_restore_renders_bare(self):
+        stats = EngineStats()
+        stats.events_in = 5
+        stats.restore_from({})
+        assert repr(stats) == "EngineStats()"
+
+
+def test_merge_sums_counters_and_maxes_peak():
+    left, right = EngineStats(), EngineStats()
+    left.events_in, right.events_in = 2, 3
+    left.peak_state_size, right.peak_state_size = 10, 7
+    left.merge(right)
+    assert left.events_in == 5
+    assert left.peak_state_size == 10

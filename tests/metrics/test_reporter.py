@@ -1,0 +1,89 @@
+"""Reporter rendering: render_series, render_table edge cases, histograms."""
+
+from __future__ import annotations
+
+from repro.metrics import render_histogram, render_series, render_table
+from repro.obs.metrics import Histogram
+
+
+class TestRenderSeries:
+    def test_columns_are_x_label_plus_series_names(self):
+        text = render_series(
+            "fig 1", "k", [1, 2], {"ooo": [10, 20], "inorder": [30, 40]}
+        )
+        lines = text.splitlines()
+        header = lines[3].split()
+        assert header == ["k", "ooo", "inorder"]
+
+    def test_rows_align_right_under_headers(self):
+        text = render_series(
+            "latency", "rate", [0.1, 0.25], {"p99": [5, 12345]}
+        )
+        lines = text.splitlines()
+        first, second = lines[4], lines[5]
+        # Cells are right-justified into equal-width columns, so both
+        # rows render to the same length and values share a right edge.
+        assert len(first) == len(second)
+        assert first.startswith("0.100")
+        assert second.startswith("0.250")
+        assert first.endswith("     5")
+        assert second.endswith("12,345")
+
+    def test_empty_series_renders_header_only(self):
+        text = render_series("empty", "x", [], {"y": []})
+        lines = text.splitlines()
+        assert lines[1] == "empty"
+        assert lines[3].split() == ["x", "y"]
+        # Nothing after the header row (just the trailing newline).
+        assert lines[4:] == []
+        assert text.endswith("\n")
+
+    def test_note_line(self):
+        text = render_series(
+            "fig", "x", [1], {"y": [2]}, note="lower is better"
+        )
+        assert "note: lower is better" in text.splitlines()
+        without = render_series("fig", "x", [1], {"y": [2]})
+        assert not any(line.startswith("note:") for line in without.splitlines())
+
+
+class TestRenderTableEdgeCases:
+    def test_single_column(self):
+        text = render_table("one", ["only"], [["a"], ["bb"], ["ccc"]])
+        lines = text.splitlines()
+        assert lines[3] == "only"
+        # Single column: no separator padding, rows right-justified to width.
+        assert lines[4:7] == ["   a", "  bb", " ccc"]
+
+    def test_single_column_title_wider_than_data(self):
+        text = render_table("a very long title indeed", ["c"], [[1]])
+        lines = text.splitlines()
+        assert lines[0] == "=" * len("a very long title indeed")
+        assert lines[2] == "-" * len("a very long title indeed")
+
+    def test_no_rows(self):
+        text = render_table("t", ["a", "b"], [])
+        lines = text.splitlines()
+        assert lines[3].split() == ["a", "b"]
+        assert lines[4:] == []
+
+
+class TestRenderHistogram:
+    def test_buckets_and_summary_note(self):
+        histogram = Histogram("repro_lat", "latency", buckets=(1, 5))
+        for value in (0, 3, 9):
+            histogram.observe(value)
+        text = render_histogram("latency (ts units)", histogram)
+        assert "<= 1" in text
+        assert "<= 5" in text
+        assert "<= +Inf" in text
+        note = [line for line in text.splitlines() if line.startswith("note:")][0]
+        assert "count=3" in note
+        assert "mean=4.00" in note
+        assert "p50=5" in note
+
+    def test_extra_note_is_appended(self):
+        histogram = Histogram("h", buckets=(1,))
+        histogram.observe(1)
+        text = render_histogram("t", histogram, note="k=5")
+        assert "k=5" in [line for line in text.splitlines() if line.startswith("note:")][0]

@@ -1,0 +1,161 @@
+"""`repro explain`: lifecycle reconstruction for emitted and missing matches.
+
+The acceptance scenario: a trace whose disorder exceeds the configured K
+produces late drops, so the engine misses oracle matches; ``explain``
+must reconstruct the lifecycle of at least one emitted match AND one
+oracle-only (missing) match, naming the proximate cause of the miss.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import OutOfOrderEngine
+from repro.core.event import Event
+from repro.core.parser import parse
+from repro.obs import explain as explain_mod
+from repro.obs import trace as stages
+from repro.streams import dump_trace
+
+QUERY = "PATTERN SEQ(A a, B b, C c) WHERE a.x == c.x WITHIN 30"
+
+
+def _lossy_arrival():
+    """A trace with more disorder than K=2 tolerates: some late drops."""
+    rng = random.Random(42)
+    events = [
+        Event(rng.choice("ABC"), ts, {"x": rng.randint(0, 2)})
+        for ts in range(1, 161)
+    ]
+    keyed = [(e.ts + rng.randint(0, 12), i, e) for i, e in enumerate(events)]
+    keyed.sort()
+    return [e for __, __, e in keyed]
+
+
+@pytest.fixture(scope="module")
+def replayed():
+    pattern = parse(QUERY)
+    arrival = _lossy_arrival()
+    engine = OutOfOrderEngine(pattern, k=2)
+    tracer = explain_mod.replay_with_tracing(engine, arrival)
+    return pattern, arrival, engine, tracer
+
+
+def test_scenario_has_both_emitted_and_missing(replayed):
+    pattern, arrival, engine, __ = replayed
+    missing, total = explain_mod.missing_matches(pattern, arrival, engine)
+    assert engine.results, "scenario must emit at least one match"
+    assert missing, "scenario must miss at least one oracle match"
+    # The oracle total accounts for both the hits and the misses.
+    assert total == len(missing) + len(engine.result_set())
+
+
+def test_emitted_match_lifecycle_is_complete(replayed):
+    __, __, engine, tracer = replayed
+    match = explain_mod.emitted_matches(engine)[0]
+    text = explain_mod.explain_match(tracer, match)
+    assert "emitted match" in text
+    for event in match.events:
+        # Every contributing event's lifecycle starts with admission and
+        # includes its participation in this match.
+        spans = tracer.spans_for(event.eid)
+        assert spans[0].stage == stages.ADMITTED
+        assert any(s.stage == stages.MATCH_EMITTED for s in spans)
+        assert f"eid {event.eid}" in text or f"(eid {event.eid})" in text
+
+
+def test_missing_match_names_a_proximate_cause(replayed):
+    pattern, arrival, engine, tracer = replayed
+    missing, __ = explain_mod.missing_matches(pattern, arrival, engine)
+    causes = set()
+    for match in missing:
+        text = explain_mod.explain_missing(tracer, match)
+        assert "missing match" in text
+        for event in match.events:
+            causes.add(explain_mod.diagnose(tracer, event.eid).split(" ")[0])
+    # At least one miss must be attributed to a concrete terminal stage.
+    assert causes & {stages.LATE_DROPPED, stages.PURGED, stages.SHED}
+
+
+def test_match_filter_by_contributing_eids(replayed):
+    __, __, engine, tracer = replayed
+    match = explain_mod.emitted_matches(engine)[0]
+    eids = [event.eid for event in match.events]
+    filtered = explain_mod.emitted_matches(engine, eids)
+    assert match.key() in {m.key() for m in filtered}
+    assert explain_mod.emitted_matches(engine, [10**9]) == []
+
+
+def test_missing_matches_order_is_deterministic(replayed):
+    pattern, arrival, engine, __ = replayed
+    first, __ = explain_mod.missing_matches(pattern, arrival, engine)
+    second, __ = explain_mod.missing_matches(pattern, arrival, engine)
+    assert [m.key() for m in first] == [m.key() for m in second]
+
+
+def test_overflowed_ring_is_reported():
+    pattern = parse(QUERY)
+    arrival = _lossy_arrival()
+    engine = OutOfOrderEngine(pattern, k=2)
+    tracer = explain_mod.replay_with_tracing(engine, arrival, capacity=8)
+    assert tracer.overflowed()
+    lines = explain_mod.summary_lines(tracer)
+    assert any("overflow" in line for line in lines)
+
+
+class TestExplainCli:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = tmp_path / "lossy.jsonl"
+        dump_trace(_lossy_arrival(), path)
+        return str(path)
+
+    def test_missing_mode_prints_lifecycles(self, trace_path, capsys):
+        code = main(
+            ["explain", "--query", QUERY, "--trace", trace_path,
+             "--k", "2", "--missing", "--limit", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine missed" in out
+        assert "missing match" in out
+        assert stages.LATE_DROPPED in out or stages.PURGED in out
+
+    def test_match_mode_explains_named_eids(self, trace_path, capsys):
+        pattern = parse(QUERY)
+        engine = OutOfOrderEngine(pattern, k=2)
+        from repro.streams import load_trace
+
+        arrival = load_trace(trace_path)
+        for element in arrival:
+            engine.feed(element)
+        engine.close()
+        target = engine.results[0]
+        eids = ",".join(str(event.eid) for event in target.events)
+        code = main(
+            ["explain", "--query", QUERY, "--trace", trace_path,
+             "--k", "2", "--match", eids, "--limit", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "emitted match" in out
+        assert stages.ADMITTED in out
+
+    def test_unknown_eids_exit_nonzero(self, trace_path, capsys):
+        code = main(
+            ["explain", "--query", QUERY, "--trace", trace_path,
+             "--k", "2", "--match", "999999"]
+        )
+        assert code == 1
+        assert "no emitted match" in capsys.readouterr().out
+
+    def test_default_mode_explains_first_emitted(self, trace_path, capsys):
+        code = main(
+            ["explain", "--query", QUERY, "--trace", trace_path, "--k", "2",
+             "--limit", "1"]
+        )
+        assert code == 0
+        assert "emitted match" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Exporter tests: Prometheus exposition and JSON-lines round-trips."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.export import (
+    MetricsJsonWriter,
+    parse_prometheus,
+    read_metrics_jsonl,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_events_total", "events fed").inc(42)
+    registry.gauge("repro_state_size_now", "retained state").set(7)
+    histogram = registry.histogram("repro_latency", "latency", buckets=(1, 5, 10))
+    for value in (0, 2, 6, 11):
+        histogram.observe(value)
+    return registry
+
+
+def test_prometheus_exposition_structure():
+    text = render_prometheus(_populated_registry())
+    lines = text.splitlines()
+    assert "# HELP repro_events_total events fed" in lines
+    assert "# TYPE repro_events_total counter" in lines
+    assert "# TYPE repro_state_size_now gauge" in lines
+    assert "# TYPE repro_latency histogram" in lines
+    # Cumulative buckets, ending at +Inf == _count.
+    assert 'repro_latency_bucket{le="1"} 1' in lines
+    assert 'repro_latency_bucket{le="5"} 2' in lines
+    assert 'repro_latency_bucket{le="10"} 3' in lines
+    assert 'repro_latency_bucket{le="+Inf"} 4' in lines
+    assert "repro_latency_sum 19" in lines
+    assert "repro_latency_count 4" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_parse_round_trip():
+    registry = _populated_registry()
+    samples = parse_prometheus(render_prometheus(registry))
+    assert samples["repro_events_total"] == 42
+    assert samples["repro_state_size_now"] == 7
+    assert samples['repro_latency_bucket{le="+Inf"}'] == 4
+    assert samples["repro_latency_count"] == 4
+
+
+def test_prometheus_help_escaping():
+    registry = MetricsRegistry()
+    registry.counter("repro_c", "line one\nback\\slash").inc()
+    text = render_prometheus(registry)
+    assert "# HELP repro_c line one\\nback\\\\slash" in text.splitlines()
+    assert parse_prometheus(text)["repro_c"] == 1
+
+
+def test_parse_prometheus_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus("justonetoken\n")
+
+
+def test_json_writer_lines_restore_into_a_registry():
+    registry = _populated_registry()
+    sink = io.StringIO()
+    writer = MetricsJsonWriter(sink)
+    writer.write(100, registry)
+    registry.get("repro_events_total").inc(8)
+    writer.write(200, registry)
+    assert writer.written == 2
+
+    records = read_metrics_jsonl(sink.getvalue())
+    assert [record["seq"] for record in records] == [100, 200]
+
+    # Round-trip: restoring the first snapshot rewinds the live registry.
+    registry.restore_state(records[0]["metrics"])
+    assert registry.get("repro_events_total").value == 42
+    # And the final snapshot restores into a brand-new registry.
+    fresh = MetricsRegistry()
+    fresh.restore_state(records[1]["metrics"])
+    assert fresh.get("repro_events_total").value == 50
+    assert fresh.get("repro_latency").count == 4
+    assert fresh.snapshot_state() == records[1]["metrics"]
