@@ -37,6 +37,7 @@ EXPERIMENTS = [
     ("e16", "bench_e16_batch_parallel"),
     ("e17", "bench_e17_recovery"),
     ("e18", "bench_e18_observability"),
+    ("e19", "bench_e19_equality_index"),
 ]
 
 

@@ -41,6 +41,7 @@ def make_engine(
     k: Optional[int] = None,
     purge: Optional[PurgePolicy] = None,
     optimize: bool = True,
+    index: bool = True,
     key: Optional[str] = None,
     workers: int = 1,
     backend: str = "thread",
@@ -62,6 +63,7 @@ def make_engine(
             purge=purge,
             optimize_scan=optimize,
             optimize_construction=optimize,
+            index=index,
             shed=shed,
         )
     if shed is not None and name != "aggressive":
@@ -81,13 +83,20 @@ def make_engine(
             purge=purge,
             optimize_scan=optimize,
             optimize_construction=optimize,
+            index=index,
             shed=shed,
         )
     if name == "partitioned":
-        return PartitionedEngine(pattern, k=k, purge=purge, key=key)
+        return PartitionedEngine(pattern, k=k, purge=purge, key=key, index=index)
     if name == "parallel":
         return ParallelPartitionedEngine(
-            pattern, k=k, purge=purge, key=key, workers=workers, backend=backend
+            pattern,
+            k=k,
+            purge=purge,
+            key=key,
+            index=index,
+            workers=workers,
+            backend=backend,
         )
     raise ConfigurationError(f"unknown engine {name!r}; choose from {ENGINE_NAMES}")
 
@@ -152,6 +161,8 @@ def run_cell(
         "predicate_evaluations": engine.stats.predicate_evaluations,
         "construction_triggers": engine.stats.construction_triggers,
         "skipped_by_probe": engine.stats.construction_skipped_by_probe,
+        "index_hits": engine.stats.index_hits,
+        "index_misses": engine.stats.index_misses,
         "purged": engine.stats.instances_purged,
         "late_dropped": engine.stats.late_dropped,
         "revocations": engine.stats.revocations,

@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="thread", choices=["thread", "process"],
         help="pool backend for --engine parallel",
     )
+    run.add_argument(
+        "--no-index", action="store_true",
+        help="disable equality-index pushdown in sequence construction "
+             "(E19 ablation; results are identical, only cost changes)",
+    )
     run.add_argument("--verify", action="store_true", help="compare against the offline oracle")
     run.add_argument("--show-matches", type=int, default=5, metavar="N",
                      help="print the first N matches (0 = none)")
@@ -206,6 +211,7 @@ def _command_run(args: argparse.Namespace) -> int:
     def build_engine():
         engine = make_engine(
             args.engine, pattern, k=args.k, purge=purge,
+            index=not args.no_index,
             workers=args.workers, backend=args.backend, shed=shed,
         )
         if args.validate == "quarantine":
@@ -276,6 +282,8 @@ def _command_run(args: argparse.Namespace) -> int:
         ["late dropped", engine.stats.late_dropped],
         ["quarantined", engine.stats.events_quarantined],
         ["shed", engine.stats.events_shed],
+        ["index hits", engine.stats.index_hits],
+        ["index misses", engine.stats.index_misses],
         ["peak state", engine.stats.peak_state_size],
         ["mean latency (events)", round(latency.mean, 2)],
         ["p99 latency (events)", round(latency.p99, 2)],

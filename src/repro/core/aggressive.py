@@ -61,6 +61,7 @@ class AggressiveEngine(OutOfOrderEngine):
         late_policy: LatePolicy = LatePolicy.DROP,
         optimize_scan: bool = True,
         optimize_construction: bool = True,
+        index: bool = True,
         shed: Optional[ShedPolicy] = None,
     ):
         super().__init__(
@@ -70,6 +71,7 @@ class AggressiveEngine(OutOfOrderEngine):
             late_policy=late_policy,
             optimize_scan=optimize_scan,
             optimize_construction=optimize_construction,
+            index=index,
             shed=shed,
         )
         self.revocations: List[Revocation] = []

@@ -27,13 +27,22 @@ at the earliest point in this binding order at which all of its
 variables are bound.  Candidate sets come from binary-searched
 timestamp ranges over the ts-sorted stacks (the point of the paper's
 stack redesign); disabling that narrowing is the E6 ablation.
+
+Two further optimisations live in ``repro.core.indexplan`` and are
+applied here: equality-index lookups replace the range scan for steps
+joined to an already-bound step by attribute equality (the stacks'
+posting lists serve exactly the equal-valued candidates, window-clamped
+by bisect), and the staged predicate lists are compiled into one
+closure per (trigger position, depth) at build time.  Both are
+ablatable (``index=False``) and results are identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.event import Event
+from repro.core.indexplan import StagePlan, build_plan
 from repro.core.pattern import Match, Pattern
 from repro.core.predicates import Predicate
 from repro.core.stacks import Instance, StackSet
@@ -52,11 +61,18 @@ class SequenceConstructor:
         disabled (full stack scans with per-candidate checks) — the
         unoptimised configuration for experiment E6.  Results are
         identical either way.
+    index:
+        When False, equality-index lookups are disabled and every step
+        is served by the (optimised or not) range scan — the ablation
+        for experiment E19.  Results are identical either way.  The
+        index is only active when *optimize* is also True: it is a
+        refinement of the range scan, not of the linear scan.
     """
 
-    def __init__(self, pattern: Pattern, optimize: bool = True):
+    def __init__(self, pattern: Pattern, optimize: bool = True, index: bool = True):
         self.pattern = pattern
         self.optimize = optimize
+        self.index = index
         self._vars = [s.var for s in pattern.positive_steps]
         self._orders: List[List[int]] = []
         self._staged: List[List[List[Predicate]]] = []
@@ -68,6 +84,21 @@ class SequenceConstructor:
             )
             self._orders.append(order)
             self._staged.append(self._stage_for(order))
+        plan = build_plan(
+            pattern,
+            self._vars,
+            self._orders,
+            self._staged,
+            use_index=index and optimize,
+        )
+        self._stages: List[List[StagePlan]] = plan.stages
+        #: Per-step attribute names the engine's stacks must index, or
+        #: None when no lookup was planned (engines then build plain
+        #: stacks and skip index maintenance entirely).
+        self.indexed_attrs = plan.indexed_attrs
+        #: Observability hook: when set (by the obs layer), called with
+        #: the size of every index-served candidate set.
+        self._observe_candidates: Optional[Callable[[int], None]] = None
 
     def _stage_for(self, order: List[int]) -> List[List[Predicate]]:
         """Assign each positive predicate to its earliest evaluable position."""
@@ -98,24 +129,22 @@ class SequenceConstructor:
             stats.construction_triggers += 1
         matches: List[Match] = []
         order = self._orders[step_index]
-        staged = self._staged[step_index]
+        compiled = self._stages[step_index]
         bound: Dict[int, Instance] = {step_index: trigger}
         bindings: Dict[str, Event] = {self._vars[step_index]: trigger.event}
-        if not self._staged_ok(staged[0], bindings, stats):
+        check0 = compiled[0][0]
+        if check0 is not None and not check0(bindings, stats):
             return matches
-        self._extend(stacks, order, staged, 1, trigger, bound, bindings, matches, stats)
+        self._extend(stacks, order, compiled, 1, trigger, bound, bindings, matches, stats)
         return matches
 
     # -- internals ---------------------------------------------------------------
-
-    def _max_bound_ts(self, bound: Dict[int, Instance]) -> int:
-        return max(instance.ts for instance in bound.values())
 
     def _extend(
         self,
         stacks: StackSet,
         order: List[int],
-        staged: List[List[Predicate]],
+        compiled: List[StagePlan],
         depth: int,
         trigger: Instance,
         bound: Dict[int, Instance],
@@ -134,28 +163,48 @@ class SequenceConstructor:
         if step < trigger_step:
             # Prefix step: strictly older than the bound step+1 event,
             # and within the window below the youngest bound event.
-            lower = self._max_bound_ts(bound) - pattern.within
-            upper_exclusive = bound[step + 1].ts
-            lower_exclusive = lower - 1
-            upper_inclusive = upper_exclusive - 1
+            # Prefix steps are bound before suffix steps and every
+            # prefix candidate is strictly older than the trigger, so
+            # the youngest bound event here is always the trigger
+            # itself — no max() over the bindings needed.
+            lower_exclusive = trigger.ts - pattern.within - 1
+            upper_inclusive = bound[step + 1].ts - 1
         else:
             # Suffix step: strictly younger than step-1, within the
             # window above the first event (step 0 is bound by now).
             lower_exclusive = bound[step - 1].ts
             upper_inclusive = bound[0].ts + pattern.within
-        if self.optimize:
-            candidates: Sequence[Instance] = stacks[step].range_after(
-                lower_exclusive, max_ts=upper_inclusive
+
+        full_checks, reduced_checks, spec = compiled[depth]
+        checks = full_checks
+        prefiltered = True
+        candidates: Optional[Sequence[Instance]] = None
+        if spec is not None:
+            name, bound_value = spec
+            candidates = stacks[step].equality_candidates(
+                name, bound_value(bindings), lower_exclusive, upper_inclusive
             )
-            prefiltered = True
-        else:
-            # Unoptimised: linear scan of the whole stack, bounds
-            # checked per candidate (the cost E6 measures).
-            candidates = list(stacks[step])
-            prefiltered = False
+            if candidates is not None:
+                checks = reduced_checks
+                if stats is not None:
+                    if candidates:
+                        stats.index_hits += 1
+                    else:
+                        stats.index_misses += 1
+                if self._observe_candidates is not None:
+                    self._observe_candidates(len(candidates))
+        if candidates is None:
+            if self.optimize:
+                candidates = stacks[step].range_after(
+                    lower_exclusive, max_ts=upper_inclusive
+                )
+            else:
+                # Unoptimised: linear scan of the whole stack, bounds
+                # checked per candidate (the cost E6 measures).
+                candidates = list(stacks[step])
+                prefiltered = False
 
         var = self._vars[step]
-        checks = staged[depth]
         for candidate in candidates:
             if candidate.arrival >= trigger.arrival:
                 continue
@@ -168,25 +217,12 @@ class SequenceConstructor:
                     stats.window_rejections += 1
                 continue
             bindings[var] = candidate.event
-            if checks and not self._staged_ok(checks, bindings, stats):
+            if checks is not None and not checks(bindings, stats):
                 del bindings[var]
                 continue
             bound[step] = candidate
             self._extend(
-                stacks, order, staged, depth + 1, trigger, bound, bindings, matches, stats
+                stacks, order, compiled, depth + 1, trigger, bound, bindings, matches, stats
             )
             del bound[step]
             del bindings[var]
-
-    def _staged_ok(
-        self,
-        predicates: List[Predicate],
-        bindings: Dict[str, Event],
-        stats: Optional[EngineStats],
-    ) -> bool:
-        for predicate in predicates:
-            if stats is not None:
-                stats.predicate_evaluations += 1
-            if not predicate.evaluate(bindings):
-                return False
-        return True

@@ -321,6 +321,12 @@ class OutOfOrderEngine(Engine):
         Handling of K-promise violations (default DROP).
     optimize_scan / optimize_construction:
         The paper's CPU optimisations; disable for ablation (E6).
+    index:
+        Equality-index pushdown for construction (E19): stacks for
+        steps joined by attribute equality maintain value → posting
+        list indexes, and construction fetches candidates by hash
+        probe instead of range scan.  Disable for ablation; results
+        are identical either way.
     shed:
         Optional :class:`~repro.core.shedding.ShedPolicy`: when the
         retained store size (stacks + side stores) exceeds the policy's
@@ -337,6 +343,7 @@ class OutOfOrderEngine(Engine):
         late_policy: LatePolicy = LatePolicy.DROP,
         optimize_scan: bool = True,
         optimize_construction: bool = True,
+        index: bool = True,
         shed: Optional[ShedPolicy] = None,
     ) -> None:
         super().__init__(pattern)
@@ -350,13 +357,19 @@ class OutOfOrderEngine(Engine):
         # Cloned: due() mutates schedule state, so engines must not share
         # the caller's policy object (see PurgePolicy.clone).
         self.purge_policy = (purge if purge is not None else PurgePolicy.eager()).clone()
-        self.stacks = StackSet(pattern.length)
+        self.scanner = SequenceScanner(pattern, optimize=optimize_scan)
+        self.constructor = SequenceConstructor(
+            pattern, optimize=optimize_construction, index=index
+        )
+        # Stacks index exactly the attributes the construction plan will
+        # probe (None when the plan uses no lookups — plain stacks then).
+        self.stacks = StackSet(
+            pattern.length, indexed_attrs=self.constructor.indexed_attrs
+        )
         self.negatives = NegativeStore(pattern.negated_types)
         # Kleene elements live in their own ts-sorted store, consulted at
         # seal time exactly like negatives (same retention proof).
         self.kleene_store = NegativeStore(pattern.kleene_types)
-        self.scanner = SequenceScanner(pattern, optimize=optimize_scan)
-        self.constructor = SequenceConstructor(pattern, optimize=optimize_construction)
         self.pending = PendingMatches()
         self.purger = Purger(pattern.within, pattern.length)
 
@@ -381,6 +394,7 @@ class OutOfOrderEngine(Engine):
                 "purge": (self.purge_policy.mode.value, self.purge_policy.interval),
                 "optimize_scan": self.scanner.optimize,
                 "optimize_construction": self.constructor.optimize,
+                "index": self.constructor.index,
                 "shed": self.shed.fingerprint() if self.shed is not None else None,
             }
         )

@@ -112,6 +112,9 @@ class PartitionedEngine(Engine):
         Broadcast a global-horizon punctuation to all partitions every
         this many events (bounds idle-partition state and seals their
         negation brackets).
+    index:
+        Equality-index pushdown inside every sub-engine's construction
+        (see :class:`OutOfOrderEngine`); disable for ablation.
     """
 
     def __init__(
@@ -122,6 +125,7 @@ class PartitionedEngine(Engine):
         late_policy: LatePolicy = LatePolicy.DROP,
         key: Optional[str] = None,
         punctuate_every: int = 64,
+        index: bool = True,
     ):
         super().__init__(pattern)
         if punctuate_every < 1:
@@ -131,6 +135,7 @@ class PartitionedEngine(Engine):
         self.key = key or detect_partition_key(pattern)
         self.k = k
         self.late_policy = late_policy
+        self.index = index
         self._purge_mode = purge.mode if purge is not None else None
         self._purge_interval = purge.interval if purge is not None else 1
         self.clock = StreamClock(k)
@@ -171,6 +176,7 @@ class PartitionedEngine(Engine):
                           self._purge_interval),
                 "key": self.key,
                 "punctuate_every": self.punctuate_every,
+                "index": self.index,
             }
         )
         return config
@@ -212,7 +218,11 @@ class PartitionedEngine(Engine):
         else:
             purge = PurgePolicy(self._purge_mode, self._purge_interval)
         return OutOfOrderEngine(
-            self.pattern, k=self.k, purge=purge, late_policy=self.late_policy
+            self.pattern,
+            k=self.k,
+            purge=purge,
+            late_policy=self.late_policy,
+            index=self.index,
         )
 
     # -- processing ------------------------------------------------------------------
@@ -296,11 +306,15 @@ def _run_partition(payload):
     engine is instrumented — a metrics-registry snapshot for the
     deterministic per-worker merge.
     """
-    pattern, k, purge_mode, purge_interval, late_policy, events, instrument = payload
+    pattern, k, purge_mode, purge_interval, late_policy, events, instrument, index = (
+        payload
+    )
     purge = None
     if purge_mode is not None:
         purge = PurgePolicy(purge_mode, purge_interval)
-    engine = OutOfOrderEngine(pattern, k=k, purge=purge, late_policy=late_policy)
+    engine = OutOfOrderEngine(
+        pattern, k=k, purge=purge, late_policy=late_policy, index=index
+    )
     metrics_state = None
     if instrument:
         from repro.obs.metrics import MetricsRegistry
@@ -367,6 +381,7 @@ class ParallelPartitionedEngine(PartitionedEngine):
         late_policy: LatePolicy = LatePolicy.DROP,
         key: Optional[str] = None,
         punctuate_every: int = 64,
+        index: bool = True,
         workers: int = 1,
         backend: str = "thread",
     ):
@@ -377,6 +392,7 @@ class ParallelPartitionedEngine(PartitionedEngine):
             late_policy=late_policy,
             key=key,
             punctuate_every=punctuate_every,
+            index=index,
         )
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ConfigurationError(f"workers must be an int >= 1, got {workers!r}")
@@ -497,6 +513,7 @@ class ParallelPartitionedEngine(PartitionedEngine):
                 self.late_policy,
                 bucket,
                 instrument,
+                self.index,
             )
             for bucket in self._routed.values()
         ]

@@ -22,9 +22,12 @@ ts-sorted, consulted when a pending match's negation bracket seals.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.event import Event
+
+_INF = float("inf")
+_NO_CANDIDATES: Tuple = ()
 
 
 class Instance:
@@ -55,16 +58,51 @@ class SortedStack:
     arrival makes it append-only), this structure supports O(log n)
     positional insertion for late events and O(log n + m) range
     extraction, which is what out-of-order construction needs.
+
+    When *indexed_attrs* names attributes (chosen by the construction
+    plan from the pattern's equality joins), the stack additionally
+    maintains one **equality index** per attribute: a hash map from
+    attribute value to a ts-sorted posting list of the instances
+    carrying that value.  :meth:`equality_candidates` then serves an
+    equi-join lookup as a hash probe plus a bisected window clamp
+    instead of a full range scan.  Posting lists are kept consistent
+    under splice insertion, purging, shedding and ``clear``; like
+    ``_keys`` they are a derived cache rebuilt on restore.  An instance
+    whose indexed attribute is missing or unhashable permanently
+    disables that attribute's index on this stack (lookups return
+    ``None``, callers fall back to the range scan), so the index never
+    changes results for exotic attribute values.
     """
 
-    __slots__ = ("step_index", "_instances", "_keys", "inserted", "purged")
+    __slots__ = (
+        "step_index",
+        "_instances",
+        "_keys",
+        "inserted",
+        "purged",
+        "indexed_attrs",
+        "_postings",
+        "_index_disabled",
+    )
 
-    def __init__(self, step_index: int):
+    def __init__(self, step_index: int, indexed_attrs: Sequence[str] = ()):
         self.step_index = step_index
         self._instances: List[Instance] = []
         # Parallel (ts, eid) list for bisect; derived from _instances and
         # rebuilt by restore_state, so snapshots never carry it.
         self._keys: List[Tuple[int, int]] = []  # repro: ignore[R001] -- derived cache, rebuilt on restore
+        self.indexed_attrs: Tuple[str, ...] = tuple(indexed_attrs)
+        # Equality index: attr -> value -> parallel (keys, instances)
+        # posting lists in (ts, eid) order.  Derived from _instances like
+        # _keys (rebuilt by restore_state, never serialised).
+        self._postings: Dict[str, Dict[Any, Tuple[List[Tuple[int, int]], List[Instance]]]] = {  # repro: ignore[R001] -- derived cache, rebuilt on restore
+            name: {} for name in self.indexed_attrs
+        }
+        # Attributes whose index has been disabled by an unindexable
+        # instance.  Sticky and snapshotted: a restored engine must keep
+        # falling back exactly where the live one did, even if the
+        # offending instance has since been purged.
+        self._index_disabled: set = set()
         self.inserted = 0
         self.purged = 0
 
@@ -89,8 +127,99 @@ class SortedStack:
             index = bisect_right(self._keys, key)
             self._keys.insert(index, key)
             self._instances.insert(index, instance)
+        if self.indexed_attrs:
+            self._index_insert(instance, key)
         self.inserted += 1
         return index
+
+    # -- equality index ---------------------------------------------------------
+
+    def _index_insert(self, instance: Instance, key: Tuple[int, int]) -> None:
+        attrs = instance.event._attrs
+        disabled = self._index_disabled
+        for name in self._postings:
+            if name in disabled:
+                continue
+            postings = self._postings[name]
+            try:
+                value = attrs[name]
+                entry = postings.get(value)
+            except (KeyError, TypeError):
+                # Missing or unhashable value: this attribute's index can
+                # no longer answer for this stack.  Drop its postings and
+                # fall back to range scans from here on.
+                disabled.add(name)
+                postings.clear()
+                continue
+            if entry is None:
+                postings[value] = ([key], [instance])
+            else:
+                keys, instances = entry
+                if key >= keys[-1]:
+                    keys.append(key)
+                    instances.append(instance)
+                else:
+                    at = bisect_right(keys, key)
+                    keys.insert(at, key)
+                    instances.insert(at, instance)
+
+    def _index_drop_prefix(self, cut: int) -> None:
+        """Remove the oldest *cut* instances from every posting list.
+
+        Both purge and shedding remove a global ``(ts, eid)`` prefix, so
+        the removals form a prefix of each posting list too.
+        """
+        removed = self._instances[:cut]
+        disabled = self._index_disabled
+        for name in self._postings:
+            if name in disabled:
+                continue
+            postings = self._postings[name]
+            counts: Dict[Any, int] = {}
+            for instance in removed:
+                value = instance.event._attrs[name]
+                counts[value] = counts.get(value, 0) + 1
+            for value, count in counts.items():
+                keys, instances = postings[value]
+                if count >= len(keys):
+                    del postings[value]
+                else:
+                    del keys[:count]
+                    del instances[:count]
+
+    def equality_candidates(
+        self, name: str, value: Any, ts: int, max_ts: int
+    ) -> Optional[Sequence[Instance]]:
+        """Instances with ``event[name] == value`` and ``ts < instance.ts <= max_ts``.
+
+        The indexed analogue of :meth:`range_after`: a hash probe on the
+        attribute's posting map, then a bisected window clamp.  Returns
+        ``None`` when the index cannot answer — the attribute is not
+        indexed here, its index was disabled by an unindexable instance,
+        or the probe value itself is unhashable — in which case the
+        caller must fall back to the range scan.
+        """
+        if name in self._index_disabled:
+            return None
+        postings = self._postings.get(name)
+        if postings is None:
+            return None
+        try:
+            if value != value:
+                # NaN-like probe: ``==`` is never true for it, but dict
+                # lookup's identity shortcut could still hit its own
+                # bucket.  The equality predicate would reject every
+                # candidate, so the correct answer is the empty set.
+                return _NO_CANDIDATES
+            entry = postings.get(value)
+        except (TypeError, ValueError):
+            return None
+        if entry is None:
+            return _NO_CANDIDATES
+        keys, instances = entry
+        lo = bisect_right(keys, (ts, _INF))
+        hi = bisect_right(keys, (max_ts, _INF))
+        return instances[lo:hi]
 
     # -- range queries --------------------------------------------------------
 
@@ -138,6 +267,8 @@ class SortedStack:
         """
         cut = bisect_right(self._keys, (ts, float("inf")))
         if cut:
+            if self.indexed_attrs:
+                self._index_drop_prefix(cut)
             del self._instances[:cut]
             del self._keys[:cut]
             self.purged += cut
@@ -152,6 +283,8 @@ class SortedStack:
         """
         cut = min(count, len(self._instances))
         if cut > 0:
+            if self.indexed_attrs:
+                self._index_drop_prefix(cut)
             del self._instances[:cut]
             del self._keys[:cut]
         return cut
@@ -171,6 +304,8 @@ class SortedStack:
         self.purged += len(self._instances)
         self._instances.clear()
         self._keys.clear()
+        for postings in self._postings.values():
+            postings.clear()
 
     # -- checkpointing ---------------------------------------------------------
 
@@ -180,6 +315,7 @@ class SortedStack:
             "instances": [(i.event, i.arrival) for i in self._instances],
             "inserted": self.inserted,
             "purged": self.purged,
+            "index_disabled": sorted(self._index_disabled),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -189,6 +325,14 @@ class SortedStack:
         self._keys = [instance.sort_key() for instance in self._instances]
         self.inserted = state["inserted"]
         self.purged = state["purged"]
+        # Disabled-index markers are real state (sticky even after the
+        # offending instance is purged); the posting lists themselves are
+        # derived and rebuilt from the restored instances.
+        self._index_disabled = set(state.get("index_disabled", ()))
+        if self.indexed_attrs:
+            self._postings = {name: {} for name in self.indexed_attrs}
+            for instance, key in zip(self._instances, self._keys):
+                self._index_insert(instance, key)
 
 
 class StackSet:
@@ -196,8 +340,16 @@ class StackSet:
 
     __slots__ = ("stacks",)
 
-    def __init__(self, length: int):
-        self.stacks: List[SortedStack] = [SortedStack(i) for i in range(length)]
+    def __init__(
+        self,
+        length: int,
+        indexed_attrs: Optional[Sequence[Sequence[str]]] = None,
+    ):
+        if indexed_attrs is None:
+            indexed_attrs = [()] * length
+        self.stacks: List[SortedStack] = [
+            SortedStack(i, indexed_attrs=indexed_attrs[i]) for i in range(length)
+        ]
 
     def __getitem__(self, index: int) -> SortedStack:
         return self.stacks[index]

@@ -31,6 +31,8 @@ class EngineStats:
         "partial_combinations",
         "predicate_evaluations",
         "window_rejections",
+        "index_hits",
+        "index_misses",
         "matches_emitted",
         "matches_pending",
         "matches_cancelled",

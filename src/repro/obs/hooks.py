@@ -85,6 +85,9 @@ class Observability:
         "c_released",
         "g_spill_disk",
         "c_spilled",
+        "c_index_hits",
+        "c_index_misses",
+        "h_index_candidates",
     )
 
     def __init__(
@@ -111,6 +114,8 @@ class Observability:
             self.g_state = self.g_pending = self.g_buffer = None
             self.h_residence = self.c_released = None
             self.g_spill_disk = self.c_spilled = None
+            self.c_index_hits = self.c_index_misses = None
+            self.h_index_candidates = None
             return
         self.c_events = registry.counter(
             "repro_events_total", "stream events fed to the engine"
@@ -181,6 +186,31 @@ class Observability:
         else:
             self.g_buffer = self.h_residence = self.c_released = None
             self.g_spill_disk = self.c_spilled = None
+        # Equality-index metrics, registered only when the engine's
+        # construction plan actually probes an index.
+        constructor = getattr(engine, "constructor", None)
+        if (
+            constructor is not None
+            and constructor.index
+            and constructor.indexed_attrs is not None
+        ):
+            self.c_index_hits = registry.counter(
+                "repro_index_hits_total",
+                "equality-index lookups that yielded candidates",
+            )
+            self.c_index_misses = registry.counter(
+                "repro_index_misses_total",
+                "equality-index lookups that proved a dead end",
+            )
+            self.h_index_candidates = registry.histogram(
+                "repro_index_candidates",
+                "candidate-set size served per equality-index lookup",
+                TICK_BUCKETS,
+            )
+            constructor._observe_candidates = self.h_index_candidates.observe
+        else:
+            self.c_index_hits = self.c_index_misses = None
+            self.h_index_candidates = None
         shed = getattr(engine, "shed", None)
         if shed is not None:
             shed.register_metrics(registry)
@@ -242,6 +272,8 @@ class Observability:
         before_partials = stats.partial_combinations
         before_predicates = stats.predicate_evaluations
         before_triggers = stats.construction_triggers
+        before_index_hits = stats.index_hits
+        before_index_misses = stats.index_misses
         before_late = stats.late_dropped
         before_admitted = stats.events_admitted
         before_ignored = stats.events_ignored
@@ -283,6 +315,13 @@ class Observability:
                 + (stats.predicate_evaluations - before_predicates)
                 + (stats.construction_triggers - before_triggers)
             )
+            if self.c_index_hits is not None:
+                if stats.index_hits > before_index_hits:
+                    self.c_index_hits.inc(stats.index_hits - before_index_hits)
+                if stats.index_misses > before_index_misses:
+                    self.c_index_misses.inc(
+                        stats.index_misses - before_index_misses
+                    )
             self._note_flow_deltas(
                 engine, emitted, stats, before_late, before_shed, before_purged
             )

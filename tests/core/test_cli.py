@@ -87,6 +87,25 @@ class TestRun:
         )
         assert code == 0
 
+    def test_no_index_flag_identical_results(self, trace_file, capsys):
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", "ooo", "--k", "20", "--verify"]
+        )
+        assert code == 0
+        indexed_out = capsys.readouterr().out
+        assert "index hits" in indexed_out
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", "ooo", "--k", "20", "--verify", "--no-index"]
+        )
+        assert code == 0  # still oracle-exact without the index
+        ablated_out = capsys.readouterr().out
+        hits_line = next(
+            line for line in ablated_out.splitlines() if "index hits" in line
+        )
+        assert hits_line.split()[-1] == "0"
+
     def test_purge_policy_flags(self, trace_file):
         for policy in ("eager", "lazy:64", "none"):
             code = main(

@@ -180,3 +180,35 @@ class TestScanConstructionOptimizationsUnderDisorder:
         slow.run(arrival)
         assert fast.stats.construction_triggers < slow.stats.construction_triggers
         assert fast.result_set() == slow.result_set()
+
+    @pytest.mark.parametrize("rate", [0.0, 0.2, 0.5])
+    def test_e2_workload_byte_identical_across_construction_paths(self, rate):
+        """The E2 reference workload pins the construction rewrites: the
+        O(1) prefix bound, the compiled pipelines and the equality index
+        must leave the *ordered emission stream* — keys and detection
+        stamps, not just the result set — untouched, and oracle-exact."""
+        from repro.streams import RandomDelayModel
+        from repro.workloads import SyntheticWorkload
+
+        disorder = RandomDelayModel(rate, 40, seed=3) if rate else None
+        workload = SyntheticWorkload(
+            query_length=3,
+            event_count=1500,
+            within=40,
+            partitions=8,
+            disorder=disorder,
+            seed=4,
+        )
+        occurrence, arrival = workload.generate()
+
+        def trail(**kwargs):
+            engine = OutOfOrderEngine(workload.query, k=40, **kwargs)
+            engine.run(arrival)
+            return engine, [(m.key(), m.detected_at) for m in engine.results]
+
+        indexed, indexed_trail = trail(index=True)
+        __, range_trail = trail(index=False)
+        __, naive_trail = trail(optimize_construction=False)
+        assert indexed_trail == range_trail == naive_trail
+        truth = OfflineOracle(workload.query).evaluate_set(occurrence)
+        assert indexed.result_set() == truth

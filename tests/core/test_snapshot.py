@@ -152,6 +152,32 @@ class TestBlobSafety:
         with pytest.raises(SnapshotError):
             different_k.restore(blob)
 
+    def test_index_flag_mismatch_rejected(self):
+        # The equality-index ablation changes the construction plan, so
+        # an indexed blob must not load into a range-only engine (or
+        # vice versa) — config is verified, never restored.
+        donor = OutOfOrderEngine(PATTERN, k=K, index=True)
+        donor.feed(Event("A", 5, {"x": 0}))
+        blob = donor.snapshot()
+        range_only = OutOfOrderEngine(PATTERN, k=K, index=False)
+        with pytest.raises(SnapshotError):
+            range_only.restore(blob)
+
+    def test_index_flag_match_restores(self):
+        donor = OutOfOrderEngine(PATTERN, k=K, index=False)
+        donor.feed(Event("A", 5, {"x": 0}))
+        resumed = OutOfOrderEngine(PATTERN, k=K, index=False)
+        resumed.restore(donor.snapshot())
+        assert resumed.stats.as_dict() == donor.stats.as_dict()
+
+    def test_partitioned_index_flag_mismatch_rejected(self):
+        donor = PartitionedEngine(PATTERN, k=K, key="x", index=True)
+        donor.feed(Event("A", 5, {"x": 0}))
+        blob = donor.snapshot()
+        range_only = PartitionedEngine(PATTERN, k=K, key="x", index=False)
+        with pytest.raises(SnapshotError):
+            range_only.restore(blob)
+
     def test_pattern_mismatch_rejected(self):
         donor = build("ooo")
         blob = donor.snapshot()

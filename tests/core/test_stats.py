@@ -29,3 +29,38 @@ def test_merge_sums_counters_and_maxes_peak():
     left.merge(right)
     assert left.events_in == 5
     assert left.peak_state_size == 10
+
+
+class TestIndexCounters:
+    def test_present_in_dict_round_trip(self):
+        stats = EngineStats()
+        stats.index_hits = 4
+        stats.index_misses = 2
+        as_dict = stats.as_dict()
+        assert as_dict["index_hits"] == 4
+        assert as_dict["index_misses"] == 2
+        restored = EngineStats()
+        restored.restore_from(as_dict)
+        assert restored.index_hits == 4
+        assert restored.index_misses == 2
+
+    def test_restore_from_legacy_snapshot_defaults_to_zero(self):
+        # Snapshots taken before the index layer carry no counters.
+        stats = EngineStats()
+        stats.index_hits = 9
+        stats.restore_from({"events_in": 1})
+        assert stats.index_hits == 0
+        assert stats.index_misses == 0
+
+    def test_merge_sums(self):
+        left, right = EngineStats(), EngineStats()
+        left.index_hits, right.index_hits = 1, 2
+        left.index_misses, right.index_misses = 3, 4
+        left.merge(right)
+        assert left.index_hits == 3
+        assert left.index_misses == 7
+
+    def test_repr_renders_when_nonzero(self):
+        stats = EngineStats()
+        stats.index_hits = 2
+        assert repr(stats) == "EngineStats(index_hits=2)"

@@ -1,0 +1,73 @@
+"""Equality-index observability: hit/miss counters and the candidate
+histogram register only when a plan exists, mirror EngineStats exactly,
+and never perturb engine output (the obs parity contract)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine import OutOfOrderEngine
+from repro.core.event import Event
+from repro.core.parser import parse
+from repro.obs.metrics import MetricsRegistry
+
+INDEXED_QUERY = "PATTERN SEQ(A a, B b, C c) WHERE a.x == c.x WITHIN 30"
+PLAIN_QUERY = "PATTERN SEQ(A a, B b, C c) WITHIN 30"
+
+
+def _trace(count=300, seed=5):
+    rng = random.Random(seed)
+    events = [
+        Event(rng.choice("ABC"), ts, {"x": rng.randint(0, 3)})
+        for ts in range(1, count + 1)
+    ]
+    keyed = [(e.ts + rng.randint(0, 6), i, e) for i, e in enumerate(events)]
+    keyed.sort()
+    return [e for __, __, e in keyed]
+
+
+def test_counters_mirror_engine_stats():
+    registry = MetricsRegistry()
+    engine = OutOfOrderEngine(parse(INDEXED_QUERY), k=8)
+    engine.enable_observability(metrics=registry)
+    engine.run(_trace())
+    hits = registry.get("repro_index_hits_total")
+    misses = registry.get("repro_index_misses_total")
+    histogram = registry.get("repro_index_candidates")
+    assert hits.value == engine.stats.index_hits > 0
+    assert misses.value == engine.stats.index_misses
+    # Every index-served lookup observes its candidate-set size — hits
+    # (non-empty) and misses (size 0) alike.
+    assert histogram.count == hits.value + misses.value
+    assert histogram.total >= hits.value
+
+
+def test_not_registered_without_a_plan():
+    registry = MetricsRegistry()
+    engine = OutOfOrderEngine(parse(PLAIN_QUERY), k=8)
+    engine.enable_observability(metrics=registry)
+    engine.run(_trace())
+    assert registry.get("repro_index_hits_total") is None
+    assert registry.get("repro_index_candidates") is None
+
+
+def test_not_registered_when_index_disabled():
+    registry = MetricsRegistry()
+    engine = OutOfOrderEngine(parse(INDEXED_QUERY), k=8, index=False)
+    engine.enable_observability(metrics=registry)
+    engine.run(_trace())
+    assert registry.get("repro_index_hits_total") is None
+    assert engine.stats.index_hits == 0
+
+
+def test_instrumented_run_identical_to_plain():
+    arrival = _trace()
+    plain = OutOfOrderEngine(parse(INDEXED_QUERY), k=8)
+    plain.run(arrival)
+    instrumented = OutOfOrderEngine(parse(INDEXED_QUERY), k=8)
+    instrumented.enable_observability(metrics=MetricsRegistry())
+    instrumented.run(arrival)
+    assert [m.key() for m in instrumented.results] == [
+        m.key() for m in plain.results
+    ]
+    assert instrumented.stats.as_dict() == plain.stats.as_dict()

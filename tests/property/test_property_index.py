@@ -1,0 +1,171 @@
+"""Equality-index ablation property: the index never changes results.
+
+The equality-index layer (posting lists inside the stacks plus the
+per-pattern pushdown plan) is a pure access-path optimisation, so for
+any trace, any K-bounded arrival permutation, any purge interleaving,
+and a snapshot/restore at any cut point, three engines must agree:
+
+* ``index=True``   — hash-probe pushdown where the plan allows,
+* ``index=False``  — range-scan construction (E19 ablation),
+* ``optimize_construction=False`` — the unoptimised reference path,
+
+and all of them must equal the offline oracle.  The indexed and
+range-only engines must further agree on the **ordered emission
+stream** (keys and detection stamps), not just the result set — that is
+the byte-identical contract the CLI's ``--no-index`` flag advertises.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Attr,
+    Eq,
+    Event,
+    Ne,
+    OfflineOracle,
+    OutOfOrderEngine,
+    Punctuation,
+    PurgePolicy,
+    seq,
+)
+from helpers import bounded_shuffle
+
+# Small ts range relative to trace length: duplicate timestamps are the
+# norm here, not the exception, so posting-list eid tie-breaking is
+# exercised on nearly every example.
+def trace_strategy(types="ABCX", max_ts=40, max_len=60, attr_range=3):
+    event = st.tuples(
+        st.sampled_from(types),
+        st.integers(min_value=0, max_value=max_ts),
+        st.integers(min_value=0, max_value=attr_range - 1),
+    )
+    return st.lists(event, min_size=0, max_size=max_len).map(
+        lambda items: [Event(t, ts, {"x": x}) for t, ts, x in items]
+    )
+
+
+def _x(var):
+    return Attr(var, "x")
+
+
+PATTERNS = [
+    # Equi-joined chains: the planner indexes "x" at non-trigger depths.
+    seq("A a", "B b", within=10, where=[Eq(_x("a"), _x("b"))], name="i2"),
+    seq("A a", "B b", "C c", within=20,
+        where=[Eq(_x("a"), _x("b")), Eq(_x("b"), _x("c"))], name="i3"),
+    # Mixed predicates: only the bare equality is index-satisfied; the
+    # residual inequality must still run in the reduced pipeline.
+    seq("A a", "B b", "C c", within=20,
+        where=[Eq(_x("a"), _x("c")), Ne(_x("b"), _x("c"))], name="imix"),
+    # Negation alongside an indexed join.
+    seq("A a", "!B b", "C c", within=15,
+        where=[Eq(_x("a"), _x("c"))], name="ineg"),
+    # Repeated event type joined on itself (duplicate-ts heavy).
+    seq("A first", "A second", within=12,
+        where=[Eq(_x("first"), _x("second"))], name="irep"),
+    # No equality at all: the plan indexes nothing; the flag must be a
+    # no-op rather than an error.
+    seq("A a", "B b", within=10, name="iplain"),
+]
+
+
+def emission_trail(engine):
+    return [(m.key(), m.detected_at) for m in engine.results]
+
+
+def interleave_punctuations(arrival, rng):
+    """Splice *valid* purge triggers at random points.
+
+    A punctuation at position ``i`` asserts nothing at or below its ts
+    arrives later, so its ts is capped just under the smallest ts still
+    to come — otherwise the engine would rightly drop those events as
+    late and could no longer match the oracle on the full trace.
+    """
+    if not arrival:
+        return arrival
+    out = list(arrival)
+    for __ in range(rng.randint(0, 3)):
+        position = rng.randrange(len(out) + 1)
+        remaining = [e.ts for e in out[position:] if isinstance(e, Event)]
+        seen = [e.ts for e in out[:position] if isinstance(e, Event)]
+        bound = min(remaining) - 1 if remaining else max(seen, default=0)
+        if bound >= 0:
+            out.insert(position, Punctuation(bound))
+    return out
+
+
+@given(
+    trace=trace_strategy(),
+    pattern_index=st.integers(min_value=0, max_value=len(PATTERNS) - 1),
+    k=st.integers(min_value=0, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+    lazy_purge=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_indexed_equals_range_only_equals_unoptimised_equals_oracle(
+    trace, pattern_index, k, seed, lazy_purge
+):
+    pattern = PATTERNS[pattern_index]
+    rng = random.Random(seed)
+    arrival = interleave_punctuations(bounded_shuffle(trace, k=k, seed=seed), rng)
+    purge = PurgePolicy.lazy(rng.choice([1, 4, 32])) if lazy_purge else None
+
+    def run(**kwargs):
+        engine = OutOfOrderEngine(
+            pattern,
+            k=k,
+            purge=None if purge is None else purge.clone(),
+            **kwargs,
+        )
+        engine.run(arrival)
+        return engine
+
+    indexed = run(index=True)
+    range_only = run(index=False)
+    unoptimised = run(optimize_construction=False)
+
+    assert emission_trail(indexed) == emission_trail(range_only)
+    truth = OfflineOracle(pattern).evaluate_set(trace)
+    assert indexed.result_set() == truth
+    assert unoptimised.result_set() == truth
+
+
+@given(
+    trace=trace_strategy(),
+    pattern_index=st.integers(min_value=0, max_value=len(PATTERNS) - 1),
+    k=st.integers(min_value=0, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+    cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_snapshot_restore_mid_stream_preserves_index_behaviour(
+    trace, pattern_index, k, seed, cut_fraction
+):
+    """Posting lists are derived state: a restore at any cut point must
+    rebuild them well enough that the resumed indexed engine stays
+    byte-identical to both an uninterrupted one and the ablation."""
+    pattern = PATTERNS[pattern_index]
+    arrival = bounded_shuffle(trace, k=k, seed=seed)
+    cut = int(len(arrival) * cut_fraction)
+
+    straight = OutOfOrderEngine(pattern, k=k, index=True)
+    straight.run(arrival)
+
+    interrupted = OutOfOrderEngine(pattern, k=k, index=True)
+    for element in arrival[:cut]:
+        interrupted.feed(element)
+    resumed = OutOfOrderEngine(pattern, k=k, index=True)
+    resumed.restore(interrupted.snapshot())
+    for element in arrival[cut:]:
+        resumed.feed(element)
+    resumed.close()
+
+    assert emission_trail(resumed) == emission_trail(straight)
+    assert resumed.stats.as_dict() == straight.stats.as_dict()
+
+    range_only = OutOfOrderEngine(pattern, k=k, index=False)
+    range_only.run(arrival)
+    assert emission_trail(resumed) == emission_trail(range_only)
+    assert resumed.result_set() == OfflineOracle(pattern).evaluate_set(trace)
