@@ -38,6 +38,7 @@ EXPERIMENTS = [
     ("e17", "bench_e17_recovery"),
     ("e18", "bench_e18_observability"),
     ("e19", "bench_e19_equality_index"),
+    ("e20", "bench_e20_speculative"),
 ]
 
 

@@ -46,6 +46,8 @@ def make_engine(
     workers: int = 1,
     backend: str = "thread",
     shed: Optional[ShedPolicy] = None,
+    speculative: bool = False,
+    controller=None,
 ) -> Engine:
     """Build an engine by strategy name.
 
@@ -55,7 +57,20 @@ def make_engine(
     ``aggressive``  optimistic emit + revocations (extension)
     ``partitioned`` per-key sub-engines, serial routing
     ``parallel``    partitioned with a worker pool (*workers*, *backend*)
+
+    *speculative* / *controller* (the optimistic side-stream and the
+    adaptive-K policy) apply to the ``ooo`` and ``partitioned`` families
+    (``parallel`` only at ``workers=1``); other strategies reject them —
+    the aggressive engine already has its own optimistic protocol, and
+    the reorder/inorder baselines have no pending matches to speculate
+    on.
     """
+    if speculative or controller is not None:
+        if name not in ("ooo", "partitioned", "parallel"):
+            raise ConfigurationError(
+                "speculative/adaptive modes are supported by the ooo and "
+                f"partitioned engine families, not {name!r}"
+            )
     if name == "ooo":
         return OutOfOrderEngine(
             pattern,
@@ -65,6 +80,8 @@ def make_engine(
             optimize_construction=optimize,
             index=index,
             shed=shed,
+            speculative=speculative,
+            controller=controller,
         )
     if shed is not None and name != "aggressive":
         raise ConfigurationError(
@@ -87,7 +104,15 @@ def make_engine(
             shed=shed,
         )
     if name == "partitioned":
-        return PartitionedEngine(pattern, k=k, purge=purge, key=key, index=index)
+        return PartitionedEngine(
+            pattern,
+            k=k,
+            purge=purge,
+            key=key,
+            index=index,
+            speculative=speculative,
+            controller=controller,
+        )
     if name == "parallel":
         return ParallelPartitionedEngine(
             pattern,
@@ -97,8 +122,24 @@ def make_engine(
             index=index,
             workers=workers,
             backend=backend,
+            speculative=speculative,
+            controller=controller,
         )
     raise ConfigurationError(f"unknown engine {name!r}; choose from {ENGINE_NAMES}")
+
+
+def speculation_counts(engine: Engine) -> tuple:
+    """(speculative emissions, retractions) for any engine shape.
+
+    Flat engines count in their own stats; partitioned engines count in
+    the per-partition sub-stats, so fall through to the merged view.
+    """
+    emitted = engine.stats.speculative_emitted
+    retracted = engine.stats.retractions_issued
+    if emitted == 0 and retracted == 0 and hasattr(engine, "merged_substats"):
+        merged = engine.merged_substats()
+        emitted, retracted = merged.speculative_emitted, merged.retractions_issued
+    return emitted, retracted
 
 
 def run_cell(
@@ -169,6 +210,7 @@ def run_cell(
         "shed": engine.stats.events_shed,
         "quarantined": engine.stats.events_quarantined,
     }
+    cell["speculative"], cell["retractions"] = speculation_counts(engine)
     arrival_summary = summarize_arrival_latency(engine.emissions, arrival)
     occurrence_summary = summarize_occurrence_latency(engine.emissions)
     cell["lat_arrival_mean"] = arrival_summary.mean

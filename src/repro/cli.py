@@ -97,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
              "(ooo/aggressive engines; degrades recall, bounds memory)",
     )
     run.add_argument(
+        "--speculative", action="store_true",
+        help="emit matches optimistically ahead of their seal, with "
+             "retraction records when a late event invalidates one "
+             "(ooo/partitioned engines; sealed output is unchanged)",
+    )
+    run.add_argument(
+        "--quality-target", type=float, default=None, metavar="Q",
+        help="attach an adaptive-K controller targeting fraction Q of "
+             "events admitted in time; K (and, with --speculative, the "
+             "optimistic/pessimistic choice) is re-frozen at punctuation "
+             "boundaries (--k then sets the cold-start floor)",
+    )
+    run.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
         help="run under the resilient runner, checkpointing every N elements "
              "(requires --checkpoint-dir)",
@@ -207,12 +220,21 @@ def _command_run(args: argparse.Namespace) -> int:
     shed = (
         ShedPolicy.drop_oldest(args.max_state) if args.max_state is not None else None
     )
+    controller = None
+    if args.quality_target is not None:
+        from repro.streams import AdaptiveKController
+
+        controller = AdaptiveKController(
+            quality_target=args.quality_target,
+            initial_k=args.k if args.k is not None else 0,
+        )
 
     def build_engine():
         engine = make_engine(
             args.engine, pattern, k=args.k, purge=purge,
             index=not args.no_index,
             workers=args.workers, backend=args.backend, shed=shed,
+            speculative=args.speculative, controller=controller,
         )
         if args.validate == "quarantine":
             engine.validation = ValidationPolicy.QUARANTINE
@@ -288,6 +310,17 @@ def _command_run(args: argparse.Namespace) -> int:
         ["mean latency (events)", round(latency.mean, 2)],
         ["p99 latency (events)", round(latency.p99, 2)],
     ]
+    if args.speculative:
+        from repro.bench.runner import speculation_counts
+
+        speculated, retracted = speculation_counts(engine)
+        rows.append(["speculative emissions", speculated])
+        rows.append(["retractions", retracted])
+    if args.quality_target is not None:
+        live = getattr(engine, "_controller", None)
+        if live is not None:
+            rows.append(["K re-freezes", live.adjustments])
+            rows.append(["final K", engine.clock.k])
     if resilient:
         rows.append(["checkpoints written", runner.checkpoints_written])
     if args.verify:

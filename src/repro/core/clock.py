@@ -115,6 +115,24 @@ class StreamClock:
         """True when no event with occurrence time ``<= ts`` can still arrive."""
         return ts <= self.horizon()
 
+    def refreeze(self, k: Optional[int]) -> None:
+        """Re-freeze the disorder bound at an epoch boundary.
+
+        The purge proofs assume the horizon never regresses, so changing
+        K mid-run is only sound if the old horizon is first locked in:
+        the current horizon is folded into the punctuated floor before
+        the new bound takes effect.  Growing K therefore never re-admits
+        occurrence times whose partner state was already purged, and
+        shrinking K only ever advances sealing — the controller's
+        quality-for-latency trade (see ``repro.streams.controller``).
+        """
+        if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 0):
+            raise ConfigurationError(f"disorder bound K must be an int >= 0 or None, got {k!r}")
+        floor = self.horizon()
+        if floor > self._punctuated:
+            self._punctuated = floor
+        self._k = k
+
     def reset(self) -> None:
         """Return to the initial state (used by replay tooling)."""
         self._max_ts = -1
@@ -122,14 +140,23 @@ class StreamClock:
         self._observations = 0
 
     def snapshot_state(self) -> dict:
-        """Mutable clock state for engine checkpoints (K is config, not state)."""
+        """Mutable clock state for engine checkpoints.
+
+        K rides along because :meth:`refreeze` makes it state when a
+        controller is attached; for fixed-K engines the stored value
+        always equals the configured one.
+        """
         return {
+            "k": self._k,
             "max_ts": self._max_ts,
             "punctuated": self._punctuated,
             "observations": self._observations,
         }
 
     def restore_state(self, state: dict) -> None:
+        # ``get`` with the current bound: snapshots taken before K was
+        # re-freezable carry no "k" key and restore the configured value.
+        self._k = state.get("k", self._k)
         self._max_ts = state["max_ts"]
         self._punctuated = state["punctuated"]
         self._observations = state["observations"]

@@ -53,6 +53,11 @@ from repro.core.purge import PurgeMode, PurgePolicy, Purger
 from repro.core.scan import SequenceScanner
 from repro.core.construction import SequenceConstructor
 from repro.core.shedding import ShedMode, ShedPolicy
+from repro.core.speculate import (
+    RETRACT_EMPTY_KLEENE,
+    RETRACT_NEGATION,
+    SpeculationLog,
+)
 from repro.core.stacks import Instance, NegativeStore, StackSet
 from repro.core.stats import EngineStats
 
@@ -333,6 +338,21 @@ class OutOfOrderEngine(Engine):
         bound after an element is processed, stored elements are shed —
         lossy but bounded degradation instead of unbounded growth.  Shed
         casualties are counted in ``stats.events_shed``.
+    speculative:
+        Opt-in optimistic mode (``repro.core.speculate``): matches with
+        unsealed brackets are additionally emitted into a speculative
+        side stream the moment construction completes, and a retraction
+        record is issued if the seal-time decision later disagrees.  The
+        sealed output (``results`` / ``emissions``) is byte-identical
+        to a non-speculative run — the speculative stream is strictly
+        additive.
+    controller:
+        Optional quality-driven bound policy
+        (:class:`~repro.streams.controller.AdaptiveKController`): fed
+        every arrival, consulted at each punctuation boundary, where it
+        may re-freeze K (via :meth:`StreamClock.refreeze`, horizon kept
+        monotone) and toggle speculation.  Cloned at attachment, so one
+        configured instance can parameterise many engines.
     """
 
     def __init__(
@@ -345,12 +365,30 @@ class OutOfOrderEngine(Engine):
         optimize_construction: bool = True,
         index: bool = True,
         shed: Optional[ShedPolicy] = None,
+        speculative: bool = False,
+        controller=None,
     ) -> None:
         super().__init__(pattern)
         if not isinstance(late_policy, LatePolicy):
             raise ConfigurationError(f"late_policy must be a LatePolicy, got {late_policy!r}")
         if shed is not None and not isinstance(shed, ShedPolicy):
             raise ConfigurationError(f"shed must be a ShedPolicy, got {shed!r}")
+        if controller is not None and not (
+            callable(getattr(controller, "observe", None))
+            and callable(getattr(controller, "refreeze", None))
+            and callable(getattr(controller, "clone", None))
+        ):
+            raise ConfigurationError(
+                f"controller must provide observe/refreeze/clone, got {controller!r}"
+            )
+        self._initial_k = k
+        self.speculation = SpeculationLog() if speculative else None
+        # Cloned like the purge policy: controllers hold decision state.
+        self._controller = controller.clone() if controller is not None else None
+        if k is None and self._controller is not None:
+            # A controller manages a concrete bound; start from its
+            # cold-start recommendation rather than "no promise".
+            k = self._controller.recommended_k()
         self.clock = StreamClock(k)
         self.late_policy = late_policy
         self.shed = shed
@@ -389,13 +427,21 @@ class OutOfOrderEngine(Engine):
         config = super()._snapshot_config()
         config.update(
             {
-                "k": self.clock.k,
+                # Construction-time K: with a controller attached the
+                # *live* bound is state (clock carries it), not identity.
+                "k": self._initial_k,
                 "late_policy": self.late_policy.value,
                 "purge": (self.purge_policy.mode.value, self.purge_policy.interval),
                 "optimize_scan": self.scanner.optimize,
                 "optimize_construction": self.constructor.optimize,
                 "index": self.constructor.index,
                 "shed": self.shed.fingerprint() if self.shed is not None else None,
+                "speculative": self.speculation is not None,
+                "controller": (
+                    self._controller.fingerprint()
+                    if self._controller is not None
+                    else None
+                ),
             }
         )
         return config
@@ -412,6 +458,12 @@ class OutOfOrderEngine(Engine):
                 "pending": self.pending.snapshot_state(snapshots.encode_match),
             }
         )
+        if self.speculation is not None:
+            state["speculation"] = self.speculation.snapshot_state(
+                snapshots.encode_match
+            )
+        if self._controller is not None:
+            state["controller"] = self._controller.snapshot_state()
         return state
 
     def _restore_state(self, state: dict) -> None:
@@ -422,6 +474,12 @@ class OutOfOrderEngine(Engine):
         self.negatives.restore_state(state["negatives"])
         self.kleene_store.restore_state(state["kleene"])
         self.pending.restore_state(state["pending"], self._decode_match)
+        # Config equality (verified by unpack) guarantees these keys
+        # exist exactly when the components do.
+        if self.speculation is not None:
+            self.speculation.restore_state(state["speculation"], self._decode_match)
+        if self._controller is not None:
+            self._controller.restore_state(state["controller"])
 
     # -- load shedding ------------------------------------------------------------
 
@@ -507,6 +565,11 @@ class OutOfOrderEngine(Engine):
 
     def _process_event(self, event: Event) -> List[Match]:
         emitted: List[Match] = []
+        if self._controller is not None:
+            # Before lateness triage: the estimator must see the delays
+            # the current bound drops, or K could never grow out of an
+            # under-provisioned start.
+            self._controller.observe(event)
         if self.clock.is_late(event):
             if self.late_policy is LatePolicy.RAISE:
                 raise DisorderBoundViolation(event, self.clock.now, self.clock.k or 0)
@@ -573,7 +636,33 @@ class OutOfOrderEngine(Engine):
             )
         if self.shed is not None:
             self._shed_overflow()
+        if self._controller is not None:
+            self._refreeze(punctuation, emitted)
+        if self.speculation is not None:
+            # The punctuation closes a re-freeze epoch; later records
+            # carry the new epoch id.
+            self.speculation.epoch += 1
         return emitted
+
+    def _refreeze(self, punctuation: Punctuation, emitted: List[Match]) -> None:
+        """Apply the controller's end-of-epoch decision."""
+        decision = self._controller.refreeze(
+            punctuation.ts, self.clock.k, self.stats
+        )
+        if decision is None:
+            return
+        if decision.k != self.clock.k:
+            before = self.clock.horizon()
+            self.clock.refreeze(decision.k)
+            if self.clock.horizon() > before:
+                # A shrunk bound seals immediately, not at the next
+                # arrival — that advance is the latency the controller
+                # is buying.
+                self._release_ripe(emitted)
+        if self.speculation is not None:
+            self.speculation.enabled = decision.speculate
+        if self._obs is not None:
+            self._obs.note_refreeze(self, decision)
 
     # -- batched fast path ---------------------------------------------------------
 
@@ -619,13 +708,16 @@ class OutOfOrderEngine(Engine):
         """
         if self._closed:
             raise EngineStateError(f"{type(self).__name__} is closed")
-        if self.shed is not None or self._obs is not None:
+        if self.shed is not None or self._obs is not None or self._controller is not None:
             # Shedding re-checks the state bound after every element,
-            # and observability classifies per-element stat deltas —
+            # observability classifies per-element stat deltas, and a
+            # controller consumes every arrival as a delay observation —
             # bookkeeping the fused loop does not model.  Take the
             # reference loop (same precedent as the spill-backed
             # reorder buffer); overload survival / introspection, not
             # throughput, is what those configurations optimise for.
+            # Speculation, by contrast, stays on the fast path: it hooks
+            # _route/_decide, which the fused loop calls unmodified.
             return Engine.feed_batch(self, elements)
         emitted: List[Match] = []
         stats = self.stats
@@ -893,12 +985,62 @@ class OutOfOrderEngine(Engine):
             self.stats.matches_pending = len(self.pending)
             if self._obs is not None:
                 self._obs.note_pending(self, match, point)
+            if self.speculation is not None and self.speculation.enabled:
+                self._speculate(match)
+
+    def _speculate(self, match: Match) -> None:
+        """Optimistically emit a just-parked match into the speculative stream.
+
+        Speculation the stores already refute is suppressed — emitting a
+        match whose bracket is known-violated would be a guaranteed
+        retraction.  The store probes pass ``stats=None`` deliberately:
+        speculative work must not perturb the pessimistic counters, so a
+        speculative run stays comparable to a plain one.
+        """
+        if self.pattern.has_negation and violated(
+            self.pattern, match, self.negatives, None
+        ):
+            return
+        payload = match
+        if self.pattern.has_kleene:
+            collections = collect_kleene(
+                self.pattern, match, self.kleene_store, None
+            )
+            if collections is None:
+                return
+            payload = match.with_collections(collections)
+        record = self.speculation.speculate(payload, self._arrival, self.clock.now)
+        self.stats.speculative_emitted += 1
+        if self._obs is not None:
+            self._obs.note_speculated(self, record)
+
+    def _retract(self, match: Match, cause: str) -> None:
+        retraction = self.speculation.retract(
+            match, cause, self._arrival, self.clock.now
+        )
+        if retraction is not None:
+            self.stats.retractions_issued += 1
+            if self._obs is not None:
+                self._obs.note_retracted(self, retraction)
+
+    def _seal_speculation(self, match: Match) -> None:
+        outcome = self.speculation.seal(match, self._arrival, self.clock.now)
+        if outcome.retraction is not None:
+            self.stats.retractions_issued += 1
+            if self._obs is not None:
+                self._obs.note_retracted(self, outcome.retraction)
+        if outcome.fresh:
+            self.stats.speculative_emitted += 1
+            if self._obs is not None:
+                self._obs.note_speculated(self, outcome.record)
 
     def _decide(self, match: Match, emitted: List[Match]) -> None:
         if self.pattern.has_negation and violated(
             self.pattern, match, self.negatives, self.stats
         ):
             self.stats.matches_cancelled += 1
+            if self.speculation is not None:
+                self._retract(match, RETRACT_NEGATION)
             if self._obs is not None:
                 self._obs.note_cancelled(self, match, "negation violated at seal")
             return
@@ -908,10 +1050,14 @@ class OutOfOrderEngine(Engine):
             )
             if collections is None:
                 self.stats.matches_cancelled += 1
+                if self.speculation is not None:
+                    self._retract(match, RETRACT_EMPTY_KLEENE)
                 if self._obs is not None:
                     self._obs.note_cancelled(self, match, "empty kleene collection")
                 return
             match = match.with_collections(collections)
+        if self.speculation is not None:
+            self._seal_speculation(match)
         self._emit(match, self.clock.now)
         emitted.append(match)
 

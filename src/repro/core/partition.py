@@ -115,6 +115,15 @@ class PartitionedEngine(Engine):
     index:
         Equality-index pushdown inside every sub-engine's construction
         (see :class:`OutOfOrderEngine`); disable for ablation.
+    speculative:
+        Forwarded to every sub-engine: each partition keeps its own
+        speculative stream (``sub.speculation``), aggregated by
+        :meth:`speculation_summary` / :meth:`retraction_records`.
+    controller:
+        Adaptive-K prototype; every partition receives its **own clone**
+        at spawn, so bounds adapt per partition (a bursty key shrinks or
+        grows its K without disturbing calm ones) — the broadcast
+        punctuations are each partition's re-freeze boundaries.
     """
 
     def __init__(
@@ -126,6 +135,8 @@ class PartitionedEngine(Engine):
         key: Optional[str] = None,
         punctuate_every: int = 64,
         index: bool = True,
+        speculative: bool = False,
+        controller=None,
     ):
         super().__init__(pattern)
         if punctuate_every < 1:
@@ -136,6 +147,10 @@ class PartitionedEngine(Engine):
         self.k = k
         self.late_policy = late_policy
         self.index = index
+        self.speculative = speculative
+        # Prototype only — _blank_sub_engine hands it to each sub-engine,
+        # which clones at attachment, so this instance never mutates.
+        self._controller = controller
         self._purge_mode = purge.mode if purge is not None else None
         self._purge_interval = purge.interval if purge is not None else 1
         self.clock = StreamClock(k)
@@ -177,6 +192,12 @@ class PartitionedEngine(Engine):
                 "key": self.key,
                 "punctuate_every": self.punctuate_every,
                 "index": self.index,
+                "speculative": self.speculative,
+                "controller": (
+                    self._controller.fingerprint()
+                    if self._controller is not None
+                    else None
+                ),
             }
         )
         return config
@@ -223,6 +244,8 @@ class PartitionedEngine(Engine):
             purge=purge,
             late_policy=self.late_policy,
             index=self.index,
+            speculative=self.speculative,
+            controller=self._controller,
         )
 
     # -- processing ------------------------------------------------------------------
@@ -296,6 +319,27 @@ class PartitionedEngine(Engine):
         for engine in self._partitions.values():
             merged.merge(engine.stats)
         return merged
+
+    def speculation_summary(self) -> dict:
+        """Aggregate speculative-stream accounting across partitions."""
+        emitted = retracted = still_open = 0
+        for engine in self._partitions.values():
+            log = engine.speculation
+            if log is not None:
+                emitted += len(log.emissions)
+                retracted += len(log.retractions)
+                still_open += log.open_count
+        return {"emitted": emitted, "retracted": retracted, "open": still_open}
+
+    def retraction_records(self) -> List:
+        """Every partition's retractions as ``(partition_value, Retraction)``,
+        in partition-insertion order (deterministic)."""
+        records = []
+        for value, engine in self._partitions.items():
+            if engine.speculation is not None:
+                for retraction in engine.speculation.retractions:
+                    records.append((value, retraction))
+        return records
 
 
 def _run_partition(payload):
@@ -384,6 +428,8 @@ class ParallelPartitionedEngine(PartitionedEngine):
         index: bool = True,
         workers: int = 1,
         backend: str = "thread",
+        speculative: bool = False,
+        controller=None,
     ):
         super().__init__(
             pattern,
@@ -393,9 +439,19 @@ class ParallelPartitionedEngine(PartitionedEngine):
             key=key,
             punctuate_every=punctuate_every,
             index=index,
+            speculative=speculative,
+            controller=controller,
         )
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ConfigurationError(f"workers must be an int >= 1, got {workers!r}")
+        if workers > 1 and (speculative or controller is not None):
+            # The deferred pre-pass buffers partitions until close, so
+            # there is no live stream to speculate on and no punctuation
+            # boundary at which a controller could re-freeze.
+            raise ConfigurationError(
+                "speculative/adaptive modes need live per-partition streams; "
+                "use workers=1 (serial) for them"
+            )
         if backend not in ("thread", "process"):
             raise ConfigurationError(
                 f"backend must be 'thread' or 'process', got {backend!r}"

@@ -60,13 +60,23 @@ class ShedPolicy:
             )
         if not isinstance(mode, ShedMode):
             raise ConfigurationError(f"mode must be a ShedMode, got {mode!r}")
-        if mode is ShedMode.DROP_BY_TYPE and not victims:
+        for victim in victims:
+            if not isinstance(victim, str) or not victim:
+                raise ConfigurationError(
+                    f"shed victims must be non-empty event type names, got {victim!r}"
+                )
+        # Canonicalise: duplicates add nothing to the drop order, and
+        # first-occurrence dedup keeps the fingerprint of every
+        # duplicate-free victims list (the valid configurations all
+        # existing snapshots were taken under) byte-identical.
+        deduped = tuple(dict.fromkeys(victims))
+        if mode is ShedMode.DROP_BY_TYPE and not deduped:
             raise ConfigurationError(
                 "DROP_BY_TYPE shedding needs at least one victim event type"
             )
         self.mode = mode
         self.max_state = max_state
-        self.victims = tuple(victims)
+        self.victims = deduped
 
     @classmethod
     def drop_oldest(cls, max_state: int) -> "ShedPolicy":
@@ -82,18 +92,37 @@ class ShedPolicy:
         """Hashable identity for snapshot config verification."""
         return (self.mode.value, self.max_state, self.victims)
 
-    def register_metrics(self, registry) -> None:
+    def unmatched_victims(self, retained_types) -> Tuple[str, ...]:
+        """Victims that can never match a retained event type.
+
+        A typo'd victim list is otherwise a silent no-op: the drop loop
+        scans stores that never hold the named type and always falls
+        back to drop-oldest.  *retained_types* is the set of types the
+        engine can store (positive steps plus negative/Kleene stores,
+        i.e. ``pattern.relevant_types``).
+        """
+        return tuple(v for v in self.victims if v not in retained_types)
+
+    def register_metrics(self, registry, retained_types=None) -> None:
         """Publish the configured bound to a metrics registry.
 
         Called by the observability bundle when a shed-configured engine
         is instrumented: the bound is the denominator operators need
         next to ``repro_state_size_now`` to see how close the engine
         runs to its shedding threshold (casualty counts live in
-        ``repro_shed_total``, maintained by the bundle).
+        ``repro_shed_total``, maintained by the bundle).  When the
+        engine's *retained_types* are known, victims that can never
+        match one are counted in ``repro_shed_victims_unmatched`` so a
+        typo'd victim list is visible instead of a silent no-op.
         """
         registry.gauge(
             "repro_shed_bound", "configured state bound that triggers shedding"
         ).set(self.max_state)
+        if retained_types is not None:
+            registry.gauge(
+                "repro_shed_victims_unmatched",
+                "configured shed victims matching no retained event type",
+            ).set(len(self.unmatched_victims(retained_types)))
 
     def __repr__(self) -> str:
         if self.mode is ShedMode.DROP_BY_TYPE:

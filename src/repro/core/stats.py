@@ -41,6 +41,8 @@ class EngineStats:
         "negatives_purged",
         "peak_state_size",
         "revocations",
+        "speculative_emitted",
+        "retractions_issued",
         "events_quarantined",
         "events_shed",
     )

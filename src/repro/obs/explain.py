@@ -102,6 +102,15 @@ def diagnose(tracer: Tracer, eid: int) -> str:
     for span in reversed(spans):
         if span.stage in (stages.MATCH_EMITTED, stages.MATCH_REVOKED):
             return f"participated in a match ({span.stage})"
+        if span.stage == stages.MATCH_RETRACTED:
+            # The speculative match this event contributed to was
+            # withdrawn — for a missing-match question that withdrawal
+            # IS the proximate cause, not whatever buried the event
+            # earlier in its life.
+            detail = f" ({span.detail})" if span.detail else ""
+            return f"retracted{detail}"
+        if span.stage == stages.MATCH_SPECULATED:
+            return "participated in a speculative match (not yet sealed)"
         if span.stage in _TERMINAL_STAGES:
             detail = f" ({span.detail})" if span.detail else ""
             return f"{span.stage}{detail}"

@@ -88,6 +88,10 @@ class Observability:
         "c_index_hits",
         "c_index_misses",
         "h_index_candidates",
+        "c_speculative",
+        "c_retractions",
+        "h_spec_latency",
+        "g_refreeze_k",
     )
 
     def __init__(
@@ -116,6 +120,8 @@ class Observability:
             self.g_spill_disk = self.c_spilled = None
             self.c_index_hits = self.c_index_misses = None
             self.h_index_candidates = None
+            self.c_speculative = self.c_retractions = None
+            self.h_spec_latency = self.g_refreeze_k = None
             return
         self.c_events = registry.counter(
             "repro_events_total", "stream events fed to the engine"
@@ -211,9 +217,40 @@ class Observability:
         else:
             self.c_index_hits = self.c_index_misses = None
             self.h_index_candidates = None
+        # Speculation/controller metrics, registered only for engines
+        # running the optimistic or adaptive modes.
+        if getattr(engine, "speculation", None) is not None:
+            self.c_speculative = registry.counter(
+                "repro_speculative_total",
+                "matches emitted into the speculative stream",
+            )
+            self.c_retractions = registry.counter(
+                "repro_retractions_total",
+                "speculative emissions withdrawn by retraction records",
+            )
+            self.h_spec_latency = registry.histogram(
+                "repro_speculative_latency_ts",
+                "stream-clock minus match end timestamp at speculative emission",
+                LATENCY_BUCKETS,
+            )
+        else:
+            self.c_speculative = self.c_retractions = None
+            self.h_spec_latency = None
+        if getattr(engine, "_controller", None) is not None:
+            self.g_refreeze_k = registry.gauge(
+                "repro_refrozen_k", "disorder bound chosen at the last re-freeze"
+            )
+        else:
+            self.g_refreeze_k = None
         shed = getattr(engine, "shed", None)
         if shed is not None:
-            shed.register_metrics(registry)
+            pattern = getattr(engine, "pattern", None)
+            shed.register_metrics(
+                registry,
+                retained_types=(
+                    pattern.relevant_types if pattern is not None else None
+                ),
+            )
 
     # -- the instrumented feed path ---------------------------------------------
 
@@ -538,6 +575,45 @@ class Observability:
                 stages.MATCH_REVOKED,
                 extra=f"late negative {negative.etype}@{negative.ts}#{negative.eid}",
             )
+
+    def note_speculated(self, engine: Any, record: Any) -> None:
+        """A match entered the speculative stream (ahead of or at its seal)."""
+        if self.tracing:
+            self._record_matches(
+                engine, [record.match], self.tracer, engine._arrival,
+                stages.MATCH_SPECULATED,
+                extra=f"seq {record.seq} epoch {record.epoch}",
+            )
+        if self.c_speculative is not None:
+            self.c_speculative.inc()
+            latency = record.emitted_clock - record.match.end_ts
+            self.h_spec_latency.observe(latency if latency > 0 else 0)
+
+    def note_retracted(self, engine: Any, retraction: Any) -> None:
+        """A speculative emission was withdrawn by a retraction record."""
+        if self.tracing:
+            self._record_matches(
+                engine, [retraction.match], self.tracer, engine._arrival,
+                stages.MATCH_RETRACTED,
+                extra=f"ref {retraction.ref_seq}: {retraction.cause}",
+            )
+        if self.c_retractions is not None:
+            self.c_retractions.inc()
+
+    def note_refreeze(self, engine: Any, decision: Any) -> None:
+        """The adaptive-K controller re-froze the bound at a punctuation."""
+        if self.tracing:
+            self.tracer.record(
+                engine._arrival, stages.REFROZEN,
+                ts=decision.at_ts,
+                detail=(
+                    f"k={decision.k} speculate={decision.speculate} "
+                    f"({decision.reason})"
+                ),
+                stream=self.stream,
+            )
+        if self.g_refreeze_k is not None:
+            self.g_refreeze_k.set(decision.k)
 
     def after_close(self, engine: Any, emitted: List[Any]) -> None:
         """Account for the matches flushed at end of stream."""

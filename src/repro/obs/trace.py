@@ -44,14 +44,18 @@ MATCH_EMITTED = "match_emitted"  #: contributed to an emitted match
 MATCH_PENDING = "match_pending"  #: contributed to a match parked for negation sealing
 MATCH_CANCELLED = "match_cancelled"  #: contributed to a match cancelled at seal time
 MATCH_REVOKED = "match_revoked"  #: an optimistic emission retracted by a late negative
+MATCH_SPECULATED = "match_speculated"  #: emitted into the speculative stream ahead of its seal
+MATCH_RETRACTED = "match_retracted"  #: a speculative emission withdrawn by a retraction record
 PURGED = "purged"  #: evicted as provably useless at the safe horizon
 SHED = "shed"  #: evicted by load shedding (lossy, counted casualty)
 PUNCTUATION = "punctuation"  #: a punctuation advanced the clock
+REFROZEN = "refrozen"  #: an adaptive-K controller re-froze the bound at this boundary
 
 STAGES = (
     ADMITTED, IGNORED, QUARANTINED, LATE_DROPPED, PROCESSED, BUFFERED,
     RELEASED, PREDICATE_REJECTED, MATCH_EMITTED, MATCH_PENDING,
-    MATCH_CANCELLED, MATCH_REVOKED, PURGED, SHED, PUNCTUATION,
+    MATCH_CANCELLED, MATCH_REVOKED, MATCH_SPECULATED, MATCH_RETRACTED,
+    PURGED, SHED, PUNCTUATION, REFROZEN,
 )
 
 

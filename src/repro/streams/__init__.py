@@ -10,6 +10,7 @@ from repro.streams.disorder import (
     measure_disorder,
     required_k,
 )
+from repro.streams.controller import AdaptiveKController, ControllerDecision
 from repro.streams.kslack import (
     AdaptiveEngineFeeder,
     FixedK,
@@ -35,7 +36,9 @@ from repro.streams.source import (
 
 __all__ = [
     "AdaptiveEngineFeeder",
+    "AdaptiveKController",
     "BurstDropoutModel",
+    "ControllerDecision",
     "DelayModel",
     "DisorderStats",
     "EventSource",

@@ -24,7 +24,9 @@ K, and feeds the rest, reporting violations.
 from __future__ import annotations
 
 import bisect
+import math
 from collections import deque
+from fractions import Fraction
 from typing import Deque, List, Optional
 
 from repro.core.engine import LatePolicy
@@ -88,8 +90,17 @@ class MaxObservedK(KEstimator):
             self._max_ts = event.ts
 
     def current(self) -> int:
-        scaled = self._max_delay * (1.0 + self.margin)
-        return int(scaled) + (0 if scaled == int(scaled) else 1)
+        if self.margin == 0.0:
+            return self._max_delay
+        # Exact ceiling arithmetic: ``int()`` would truncate a
+        # fractional margin downward (int(10 * 1.25) == 12 where the
+        # margin demands 13), silently converting the safety margin
+        # into late-drops, and raw float rounding can land either side
+        # of an integer boundary.  ``limit_denominator`` recovers the
+        # decimal margin the caller wrote (0.25 -> 1/4) so the ceiling
+        # is taken over the intended product, never a float artifact.
+        margin = Fraction(self.margin).limit_denominator(1_000_000)
+        return math.ceil(self._max_delay * (1 + margin))
 
 
 class QuantileK(KEstimator):
@@ -102,16 +113,25 @@ class QuantileK(KEstimator):
     experiment E12 quantifies.
     """
 
-    def __init__(self, quantile: float = 0.99, window: int = 1000, margin: int = 0):
+    def __init__(
+        self,
+        quantile: float = 0.99,
+        window: int = 1000,
+        margin: int = 0,
+        initial: int = 0,
+    ):
         if not 0.0 < quantile <= 1.0:
             raise ConfigurationError(f"quantile must be in (0, 1], got {quantile}")
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         if margin < 0:
             raise ConfigurationError(f"margin must be >= 0, got {margin}")
+        if initial < 0:
+            raise ConfigurationError(f"initial must be >= 0, got {initial}")
         self.quantile = quantile
         self.window = window
         self.margin = margin
+        self.initial = initial
         self._max_ts = -1
         self._recent: Deque[int] = deque()
         self._sorted: List[int] = []
@@ -130,13 +150,23 @@ class QuantileK(KEstimator):
             del self._sorted[index]
 
     def current(self) -> int:
+        # The `initial` floor (mirroring MaxObservedK) covers the
+        # cold-start: with zero observations the bare margin would
+        # recommend an effective K=0, which a controller re-freezing at
+        # punctuation boundaries would lock in during warm-up.  The
+        # floor holds only until the window fills — after that the
+        # observed quantile is the whole point of this estimator, and a
+        # warm-start value must not pin the bound forever.
         if not self._sorted:
-            return self.margin
+            return max(self.initial, self.margin)
         # ceil(q*n)-1 rank, shared with metrics.latency: the floor rank
         # int(q*n) picks one too high on small windows (q=0.5 over two
         # delays would return the max, silently inflating K).
         index = percentile_index(len(self._sorted), self.quantile)
-        return self._sorted[index] + self.margin
+        estimate = self._sorted[index] + self.margin
+        if len(self._sorted) < self.window:
+            return max(self.initial, estimate)
+        return estimate
 
 
 class AdaptiveEngineFeeder:

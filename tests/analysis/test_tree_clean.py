@@ -55,3 +55,26 @@ def test_obs_sources_carry_no_ignore_comments():
                 f"{path.name}:{number} carries a suppression; the obs "
                 "layer is expected to pass all rules unaided"
             )
+
+
+def test_speculation_modules_are_clean_without_suppressions():
+    """The PR's new modules — the speculation log and the adaptive-K
+    controller — pass every rule with ZERO opt-outs.
+
+    Both are deterministic engine state (snapshot completeness and
+    determinism rules apply in full), and the speculation log sits on
+    the hot path behind the ``speculation is not None`` guard, so
+    purity exceptions would be a design smell, not a necessity."""
+    targets = [
+        str(SRC / "core" / "speculate.py"),
+        str(SRC / "streams" / "controller.py"),
+    ]
+    report = run_analysis(targets)
+    assert report.parse_errors == []
+    assert report.findings == [], "\n" + "\n".join(
+        finding.render() for finding in report.findings
+    )
+    assert report.suppressed == 0
+    for target in targets:
+        text = Path(target).read_text()
+        assert "repro: ignore" not in text

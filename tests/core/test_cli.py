@@ -114,6 +114,29 @@ class TestRun:
             )
             assert code == 0
 
+    def test_speculative_flag_reports_counters(self, trace_file, capsys):
+        neg_query = (
+            "PATTERN SEQ(T1 a, !T2 b, T3 c) WHERE a.part == c.part WITHIN 50"
+        )
+        code = main(
+            ["run", "--query", neg_query, "--trace", str(trace_file),
+             "--engine", "ooo", "--k", "20", "--speculative", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # sealed output stays oracle-exact
+        assert "speculative emissions" in out
+        assert "retractions" in out
+
+    def test_quality_target_reports_controller(self, trace_file, capsys):
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(trace_file),
+             "--engine", "ooo", "--k", "20", "--quality-target", "0.99"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "K re-freezes" in out
+        assert "final K" in out
+
     def test_show_matches_zero(self, trace_file, capsys):
         main(
             ["run", "--query", QUERY, "--trace", str(trace_file),

@@ -195,3 +195,77 @@ class TestPartitioningWins:
             partitioned.merged_substats().partial_combinations
             <= flat.stats.partial_combinations
         )
+
+
+class TestSpeculativePartitions:
+    @pytest.fixture
+    def neg_keyed(self):
+        return parse(
+            "PATTERN SEQ(A a, !B b, C c) WHERE a.x == c.x AND b.x == a.x "
+            "WITHIN 20"
+        )
+
+    def test_sealed_output_identical_to_pessimistic(self, keyed_pattern, keyed_trace):
+        arrival = bounded_shuffle(keyed_trace, k=10, seed=5)
+        plain = PartitionedEngine(keyed_pattern, k=10)
+        spec = PartitionedEngine(keyed_pattern, k=10, speculative=True)
+        for engine in (plain, spec):
+            engine.feed_many(arrival)
+            engine.close()
+        assert [m.key() for m in spec.results] == [m.key() for m in plain.results]
+
+    def test_speculation_summary_and_net_convergence(self, neg_keyed, keyed_trace):
+        arrival = bounded_shuffle(keyed_trace, k=10, seed=6)
+        engine = PartitionedEngine(neg_keyed, k=10, speculative=True)
+        engine.feed_many(arrival)
+        engine.close()
+        summary = engine.speculation_summary()
+        assert summary["open"] == 0
+        assert summary["emitted"] >= len(engine.results)
+        assert summary["retracted"] == len(engine.retraction_records())
+        net = set()
+        for sub in engine._partitions.values():
+            net |= sub.speculation.net_keys()
+        assert net == engine.result_set()
+
+    def test_retraction_records_carry_partition_value(self, neg_keyed):
+        engine = PartitionedEngine(neg_keyed, k=6, speculative=True)
+        engine.feed(Event("A", 10, {"x": 7}))
+        engine.feed(Event("C", 12, {"x": 7}))  # speculates in partition 7
+        engine.feed(Event("B", 11, {"x": 7}))  # violates at seal
+        engine.close()
+        [(value, retraction)] = engine.retraction_records()
+        assert value == 7
+        assert retraction.cause == "negation-violated"
+
+    def test_controller_cloned_per_partition(self, keyed_pattern, keyed_trace):
+        from repro.streams import AdaptiveKController
+
+        controller = AdaptiveKController(initial_k=12)
+        engine = PartitionedEngine(keyed_pattern, controller=controller)
+        engine.feed_many(keyed_trace[:200])
+        assert len(engine._partitions) > 1
+        clones = [sub._controller for sub in engine._partitions.values()]
+        assert all(c is not controller for c in clones)
+        assert len(set(map(id, clones))) == len(clones)
+        assert all(sub.clock.k == 12 for sub in engine._partitions.values())
+        engine.close()
+
+    def test_parallel_workers_reject_speculation(self, keyed_pattern):
+        from repro import ParallelPartitionedEngine
+        from repro.streams import AdaptiveKController
+
+        with pytest.raises(ConfigurationError):
+            ParallelPartitionedEngine(
+                keyed_pattern, k=5, workers=2, speculative=True
+            )
+        with pytest.raises(ConfigurationError):
+            ParallelPartitionedEngine(
+                keyed_pattern, k=5, workers=2,
+                controller=AdaptiveKController(),
+            )
+        # Serial (workers=1) routing supports both.
+        engine = ParallelPartitionedEngine(
+            keyed_pattern, k=5, workers=1, speculative=True
+        )
+        assert engine.speculative

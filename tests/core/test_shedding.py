@@ -39,11 +39,49 @@ class TestPolicyValidation:
 
     def test_drop_by_type_requires_victims(self):
         with pytest.raises(ConfigurationError):
-            ShedPolicy(ShedMode.DROP_BY_TYPE, 10, ())
+            ShedPolicy(10, ShedMode.DROP_BY_TYPE, ())
+
+    def test_victims_must_be_nonempty_type_names(self):
+        # Regression: an empty-string (or non-string) victim silently
+        # never matched any store, making the policy a disguised
+        # drop-oldest; it is now a configuration error.
+        with pytest.raises(ConfigurationError):
+            ShedPolicy.drop_by_type(10, ("A", ""))
+        with pytest.raises(ConfigurationError):
+            ShedPolicy.drop_by_type(10, ("A", None))
+
+    def test_duplicate_victims_deduped_first_occurrence_order(self):
+        policy = ShedPolicy.drop_by_type(10, ("B", "A", "B", "A"))
+        assert policy.victims == ("B", "A")
+        # Fingerprint of a duplicate-free spelling is byte-identical,
+        # so snapshots taken under either spelling stay compatible.
+        assert policy.fingerprint() == ShedPolicy.drop_by_type(10, ("B", "A")).fingerprint()
 
     def test_fingerprint_is_stable(self):
         policy = ShedPolicy.drop_by_type(10, ["B", "A"])
         assert policy.fingerprint() == ShedPolicy.drop_by_type(10, ["B", "A"]).fingerprint()
+
+    def test_unmatched_victims_surface_typos(self):
+        policy = ShedPolicy.drop_by_type(10, ("B", "TELEMETRY"))
+        assert policy.unmatched_victims(PATTERN.relevant_types) == ("TELEMETRY",)
+        assert policy.unmatched_victims({"A", "B", "TELEMETRY"}) == ()
+
+    def test_register_metrics_publishes_bound_and_unmatched(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        policy = ShedPolicy.drop_by_type(123, ("B", "TYPO"))
+        policy.register_metrics(registry, retained_types=PATTERN.relevant_types)
+        assert registry.get("repro_shed_bound").value == 123
+        assert registry.get("repro_shed_victims_unmatched").value == 1
+
+    def test_register_metrics_without_types_skips_unmatched_gauge(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        ShedPolicy.drop_oldest(50).register_metrics(registry)
+        assert registry.get("repro_shed_bound").value == 50
+        assert registry.get("repro_shed_victims_unmatched") is None
 
     def test_make_engine_rejects_unsupported_strategies(self):
         with pytest.raises(ConfigurationError):

@@ -159,3 +159,38 @@ class TestExplainCli:
         )
         assert code == 0
         assert "emitted match" in capsys.readouterr().out
+
+
+class TestRetractionDiagnosis:
+    def test_retracted_is_the_proximate_cause(self):
+        # A1 C3 speculates, the late B2 retracts it at seal: for a
+        # missing-match question the retraction IS the answer, not
+        # whatever the events did earlier in their lifecycle.
+        pattern = parse(
+            "PATTERN SEQ(A a, !B b, C c) WHERE a.x == c.x AND b.x == a.x "
+            "WITHIN 20"
+        )
+        engine = OutOfOrderEngine(pattern, k=6, speculative=True)
+        arrival = [
+            Event("A", 1, {"x": 0}),
+            Event("C", 3, {"x": 0}),
+            Event("B", 2, {"x": 0}),
+        ]
+        tracer = explain_mod.replay_with_tracing(engine, arrival)
+        assert engine.results == []
+        a_eid = arrival[0].eid
+        cause = explain_mod.diagnose(tracer, a_eid)
+        assert cause.startswith("retracted")
+        assert "negation-violated" in cause
+
+    def test_open_speculation_is_reported_not_terminal(self):
+        pattern = parse("PATTERN SEQ(A a, !B b, C c) WITHIN 20")
+        engine = OutOfOrderEngine(pattern, k=50, speculative=True)
+        arrival = [Event("A", 1), Event("C", 3)]
+        tracer = explain_mod.Tracer(4096)
+        engine.enable_observability(tracer=tracer)
+        for event in arrival:
+            engine.feed(event)
+        # No close(): the bracket stays unsealed, the record stays open.
+        cause = explain_mod.diagnose(tracer, arrival[0].eid)
+        assert cause == "participated in a speculative match (not yet sealed)"

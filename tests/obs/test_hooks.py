@@ -242,3 +242,57 @@ def test_state_size_metrics_track_peak(abc_pattern, random_trace):
     assert histogram.count > 0
     # The gauge saw every sample; its max is the engine's peak.
     assert engine.stats.peak_state_size > 0
+
+
+def test_speculation_spans_and_counters(neg_pattern):
+    # A1 C3 speculates at park time; the late B2 retracts it at seal.
+    engine = OutOfOrderEngine(neg_pattern, k=6, speculative=True)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    engine.enable_observability(tracer=tracer, metrics=registry)
+    for event in make_events("A1:0 C3:0 B2:0"):
+        engine.feed(event)
+    engine.close()
+    counts = tracer.stage_counts()
+    assert counts.get(stages.MATCH_SPECULATED, 0) >= 1
+    assert counts.get(stages.MATCH_RETRACTED, 0) >= 1
+    assert registry.get("repro_speculative_total").value == 1
+    assert registry.get("repro_retractions_total").value == 1
+    assert registry.get("repro_speculative_latency_ts").count == 1
+
+
+def test_speculative_metrics_not_registered_without_mode(abc_pattern):
+    engine = OutOfOrderEngine(abc_pattern, k=4)
+    registry = MetricsRegistry()
+    engine.enable_observability(metrics=registry)
+    assert registry.get("repro_speculative_total") is None
+    assert registry.get("repro_retractions_total") is None
+    assert registry.get("repro_refrozen_k") is None
+
+
+def test_speculative_parity_with_plain_run(neg_pattern, random_trace):
+    # Instrumentation on a speculative engine still changes nothing.
+    arrival = bounded_shuffle(random_trace, k=8, seed=5)
+    plain, instrumented, __, __ = _instrumented_pair(
+        lambda: OutOfOrderEngine(neg_pattern, k=8, speculative=True), arrival
+    )
+    _assert_parity(plain, instrumented)
+
+
+def test_refreeze_span_and_gauge(plain_seq2):
+    from repro.streams import AdaptiveKController
+
+    controller = AdaptiveKController(
+        quality_target=0.5, window=4, min_epoch_events=1
+    )
+    engine = OutOfOrderEngine(plain_seq2, k=30, controller=controller)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    engine.enable_observability(tracer=tracer, metrics=registry)
+    for event in make_events("A1 B2 A3 B4 A5"):
+        engine.feed(event)
+    engine.feed(Punctuation(5))
+    engine.close()
+    assert stages.REFROZEN in tracer.stage_counts()
+    assert registry.get("repro_refrozen_k").value == engine.clock.k
+    assert engine.clock.k < 30  # the calm epoch decayed the bound

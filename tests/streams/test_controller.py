@@ -1,0 +1,296 @@
+"""Quality-driven adaptive-K controller (repro.streams.controller).
+
+The soundness contract under test: K changes *only* at punctuation
+boundaries (never mid-epoch), the engine's horizon stays monotone
+across re-freezes in both directions, and the decision policy follows
+the documented rules — grow immediately, decay damped, never shrink
+past the quality floor, speculation hysteresis on the retraction rate.
+"""
+
+import random
+
+import pytest
+
+from repro import ConfigurationError, Event, OutOfOrderEngine, Punctuation, parse
+from repro.core.stats import EngineStats
+from repro.streams import AdaptiveKController, ControllerDecision
+from helpers import bounded_shuffle
+
+PLAIN = parse("PATTERN SEQ(A a, B b) WITHIN 10")
+NEG = parse(
+    "PATTERN SEQ(A a, !B b, C c) WHERE a.x == c.x AND b.x == a.x WITHIN 20"
+)
+
+
+def _stats(events=100, late=0, speculated=0, retracted=0):
+    stats = EngineStats()
+    stats.events_in = events
+    stats.late_dropped = late
+    stats.speculative_emitted = speculated
+    stats.retractions_issued = retracted
+    return stats
+
+
+def _controller(**overrides):
+    config = dict(quality_target=0.9, window=8, min_epoch_events=1)
+    config.update(overrides)
+    return AdaptiveKController(**config)
+
+
+def _observe_delays(controller, delays, start=1000):
+    controller.observe(Event("A", start))
+    for delay in delays:
+        controller.observe(Event("A", start - delay))
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveKController(min_k=-1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveKController(min_k=10, max_k=5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveKController(retraction_budget=1.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveKController(min_epoch_events=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveKController(quality_target=0.0)  # via QuantileK
+
+    def test_engine_rejects_non_controller(self):
+        with pytest.raises(ConfigurationError):
+            OutOfOrderEngine(PLAIN, k=5, controller=object())
+
+
+class TestPolicy:
+    def test_grow_is_immediate(self):
+        controller = _controller()
+        _observe_delays(controller, [40] * 8)
+        decision = controller.refreeze(10, 5, _stats())
+        assert decision.reason == "grow"
+        assert decision.k == controller.recommended_k() > 5
+
+    def test_decay_is_damped_to_half(self):
+        controller = _controller()
+        _observe_delays(controller, [0] * 8)  # estimator says ~0
+        decision = controller.refreeze(10, 100, _stats())
+        assert decision.reason == "decay"
+        assert decision.k == 50  # at most halves per epoch
+
+    def test_decay_stops_at_estimate(self):
+        controller = _controller(margin=0)
+        _observe_delays(controller, [30] * 8)
+        decision = controller.refreeze(10, 40, _stats())
+        assert decision.reason == "decay"
+        assert decision.k == 30  # target above half, so damping is moot
+
+    def test_hold_when_at_target(self):
+        controller = _controller(margin=0)
+        _observe_delays(controller, [30] * 8)
+        decision = controller.refreeze(10, 30, _stats())
+        assert decision.reason == "hold"
+        assert decision.k == 30
+
+    def test_quality_floor_blocks_shrink(self):
+        controller = _controller()  # allowance: 10% late
+        _observe_delays(controller, [0] * 8)
+        decision = controller.refreeze(10, 100, _stats(events=100, late=20))
+        assert decision.reason == "quality-floor"
+        assert decision.k == 100
+
+    def test_quality_floor_does_not_block_growth(self):
+        controller = _controller()
+        _observe_delays(controller, [200] * 8)
+        decision = controller.refreeze(10, 5, _stats(events=100, late=20))
+        assert decision.reason == "grow"
+        assert decision.k > 5
+
+    def test_min_max_clamp(self):
+        controller = _controller(min_k=10, max_k=20)
+        assert controller.recommended_k() == 10
+        _observe_delays(controller, [500] * 8)
+        assert controller.recommended_k() == 20
+
+    def test_small_epoch_skipped_without_rebasing(self):
+        controller = _controller(min_epoch_events=50)
+        assert controller.refreeze(5, 10, _stats(events=30)) is None
+        assert controller.history == []
+        # The skipped epoch merges into the next: deltas still span both.
+        decision = controller.refreeze(10, 10, _stats(events=60, late=12))
+        assert decision is not None
+        assert decision.reason == "quality-floor"  # 12/60 > 10% allowance
+
+    def test_retraction_hysteresis(self):
+        controller = _controller(retraction_budget=0.2)
+        _observe_delays(controller, [5] * 8)
+        decision = controller.refreeze(5, 5, _stats(speculated=100, retracted=30))
+        assert decision.speculate is False  # 30% > budget
+        # Between budget/2 and budget: mode sticks (no flapping).
+        decision = controller.refreeze(
+            10, 5, _stats(events=200, speculated=200, retracted=45)
+        )
+        assert decision.speculate is False  # epoch rate 15% in (10%, 20%]
+        decision = controller.refreeze(
+            15, 5, _stats(events=300, speculated=400, retracted=55)
+        )
+        assert decision.speculate is True  # epoch rate 5% <= budget/2
+
+    def test_history_is_recorded_and_bounded(self):
+        from repro.streams.controller import HISTORY_LIMIT
+
+        controller = _controller()
+        _observe_delays(controller, [5] * 8)
+        events = 0
+        for boundary in range(HISTORY_LIMIT + 10):
+            events += 10
+            controller.refreeze(boundary, 5, _stats(events=events))
+        assert len(controller.history) == HISTORY_LIMIT
+        assert isinstance(controller.history[-1], ControllerDecision)
+
+
+class TestIdentity:
+    def test_clone_copies_config_not_state(self):
+        controller = _controller(min_k=3, max_k=99, retraction_budget=0.25)
+        _observe_delays(controller, [50] * 8)
+        controller.refreeze(5, 5, _stats())
+        clone = controller.clone()
+        assert clone.fingerprint() == controller.fingerprint()
+        assert clone.history == [] and clone.adjustments == 0
+        assert clone.recommended_k() == clone.min_k  # fresh estimator
+
+    def test_engine_clones_controller_at_attachment(self):
+        controller = _controller()
+        engine = OutOfOrderEngine(PLAIN, k=5, controller=controller)
+        assert engine._controller is not controller
+        assert engine._controller.fingerprint() == controller.fingerprint()
+
+    def test_snapshot_roundtrip(self):
+        controller = _controller(retraction_budget=0.2)
+        _observe_delays(controller, [7, 3, 12])
+        controller.refreeze(5, 5, _stats(speculated=10, retracted=9))
+        state = controller.snapshot_state()
+        restored = controller.clone()
+        restored.restore_state(state)
+        assert restored.recommended_k() == controller.recommended_k()
+        assert restored.speculate == controller.speculate is False
+        assert restored.history == controller.history
+        assert restored.adjustments == controller.adjustments
+        # Baselines survive, so the next epoch's deltas are unchanged.
+        a = restored.refreeze(9, 5, _stats(events=200))
+        b = controller.refreeze(9, 5, _stats(events=200))
+        assert a == b
+
+
+class TestEngineIntegration:
+    def _trace(self, n=400, k=12, seed=3):
+        rng = random.Random(seed)
+        events = [
+            Event(rng.choice("ABCD"), ts, {"x": rng.randint(0, 2)})
+            for ts in range(1, n + 1)
+        ]
+        arrival = bounded_shuffle(events, k=k, seed=seed + 1)
+        elements = []
+        for index, event in enumerate(arrival):
+            elements.append(event)
+            if (index + 1) % 64 == 0:
+                remaining = arrival[index + 1 :]
+                horizon = min((e.ts for e in remaining), default=event.ts + 1) - 1
+                if horizon >= 0:
+                    elements.append(Punctuation(horizon))
+        return elements
+
+    def test_k_changes_only_at_punctuation_boundaries(self):
+        controller = AdaptiveKController(
+            quality_target=0.9, window=64, initial_k=40, min_epoch_events=16
+        )
+        engine = OutOfOrderEngine(NEG, k=40, controller=controller)
+        changes = []
+        previous = engine.clock.k
+        for element in self._trace():
+            engine.feed(element)
+            if engine.clock.k != previous:
+                changes.append((type(element).__name__, previous, engine.clock.k))
+                previous = engine.clock.k
+        engine.close()
+        assert changes, "controller never moved K"
+        assert all(kind == "Punctuation" for kind, __, __ in changes)
+        assert engine._controller.adjustments == len(changes)
+
+    def test_horizon_monotone_across_refreezes(self):
+        controller = AdaptiveKController(
+            quality_target=0.5, window=32, initial_k=60, min_epoch_events=8
+        )
+        engine = OutOfOrderEngine(NEG, k=60, controller=controller)
+        horizons = []
+        for element in self._trace(seed=7):
+            engine.feed(element)
+            horizons.append(engine.clock.horizon())
+        assert all(b >= a for a, b in zip(horizons, horizons[1:]))
+        # The aggressive quantile actually shrank the bound en route.
+        assert any(d.reason == "decay" for d in engine._controller.history)
+
+    def test_controller_without_k_introduces_bound(self):
+        controller = AdaptiveKController(initial_k=15)
+        engine = OutOfOrderEngine(PLAIN, controller=controller)
+        assert engine.clock.k == 15
+
+    def test_controller_toggles_speculation_flag(self):
+        controller = AdaptiveKController(
+            quality_target=0.9, retraction_budget=0.0, min_epoch_events=1
+        )
+        engine = OutOfOrderEngine(NEG, k=6, speculative=True, controller=controller)
+        engine.feed(Event("A", 10, {"x": 1}))
+        engine.feed(Event("C", 12, {"x": 1}))  # speculates
+        engine.feed(Event("B", 11, {"x": 1}))
+        engine.feed(Punctuation(12))  # seals (and retracts), then refreezes
+        assert engine.stats.retractions_issued == 1
+        # Any retraction exceeds a zero budget: mode flipped pessimistic.
+        assert engine.speculation.enabled is False
+        engine.close()
+
+    def test_snapshot_roundtrip_with_controller(self):
+        def build():
+            return OutOfOrderEngine(
+                NEG,
+                k=40,
+                speculative=True,
+                controller=AdaptiveKController(
+                    quality_target=0.9, window=64, initial_k=40, min_epoch_events=16
+                ),
+            )
+
+        stream = self._trace(seed=11)
+        straight = build()
+        for element in stream:
+            straight.feed(element)
+        straight.close()
+
+        interrupted = build()
+        cut = len(stream) // 2
+        for element in stream[:cut]:
+            interrupted.feed(element)
+        blob = interrupted.snapshot()
+        resumed = build()
+        resumed.restore(blob)
+        assert resumed.clock.k == interrupted.clock.k
+        for element in stream[cut:]:
+            resumed.feed(element)
+        resumed.close()
+
+        assert [m.key() for m in resumed.results] == [
+            m.key() for m in straight.results
+        ]
+        assert resumed.clock.k == straight.clock.k
+        assert resumed._controller.history == straight._controller.history
+        assert resumed.stats.as_dict() == straight.stats.as_dict()
+
+    def test_snapshot_refuses_controller_mismatch(self):
+        from repro import SnapshotError
+
+        with_controller = OutOfOrderEngine(
+            PLAIN, k=5, controller=AdaptiveKController()
+        )
+        with_controller.feed(Event("A", 1))
+        blob = with_controller.snapshot()
+        plain = OutOfOrderEngine(PLAIN, k=5)
+        with pytest.raises(SnapshotError):
+            plain.restore(blob)

@@ -57,6 +57,22 @@ class TestMaxObservedK:
     def test_initial_floor(self):
         assert MaxObservedK(initial=10).current() == 10
 
+    def test_fractional_margin_rounds_up(self):
+        # Regression: int(10 * 1.25) == 12 truncated the safety margin
+        # into a late-drop budget; the margin demands ceil(12.5) == 13.
+        estimator = MaxObservedK(margin=0.25, initial=10)
+        assert estimator.current() == 13
+
+    def test_margin_uses_intended_decimal_not_float_artifact(self):
+        # Regression: Fraction(0.001) is slightly *above* 1/1000, so a
+        # naive exact ceiling over the raw float returned 1002 where the
+        # margin the caller wrote demands ceil(1000 * 1.001) == 1001.
+        estimator = MaxObservedK(margin=0.001, initial=1000)
+        assert estimator.current() == 1001
+
+    def test_integer_margin_is_exact(self):
+        assert MaxObservedK(margin=1.0, initial=7).current() == 14
+
     def test_ordered_stream_yields_zero(self):
         estimator = MaxObservedK()
         for ts in range(50):
@@ -101,6 +117,27 @@ class TestQuantileK:
 
     def test_empty_returns_margin(self):
         assert QuantileK(margin=3).current() == 3
+
+    def test_initial_floor_covers_cold_start(self):
+        # With zero observations the floor alone holds the line — a
+        # controller re-freezing during warm-up must not lock in K=0.
+        assert QuantileK(initial=20).current() == 20
+
+    def test_initial_floor_holds_until_window_fills(self):
+        estimator = QuantileK(quantile=1.0, window=4, initial=50)
+        for ts in range(1, 4):  # 3 in-order arrivals: delays all zero
+            estimator.observe(Event("A", ts))
+        assert estimator.current() == 50  # window not yet full
+
+    def test_initial_floor_lifts_once_window_full(self):
+        estimator = QuantileK(quantile=1.0, window=4, initial=50)
+        for ts in range(1, 6):
+            estimator.observe(Event("A", ts))
+        assert estimator.current() == 0  # observed quantile takes over
+
+    def test_initial_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuantileK(initial=-1)
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
@@ -202,3 +239,23 @@ class TestAdaptiveEngineFeeder:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             AdaptiveEngineFeeder(FixedK(1), training=-1)
+
+    def test_zero_training_freezes_cold_estimate(self, disordered, abc_pattern):
+        # training=0: no prefix is observed, so the frozen K is the
+        # estimator's cold-start value and the whole stream is "rest".
+        feeder = AdaptiveEngineFeeder(MaxObservedK(initial=25), training=0)
+        engine = feeder.run(lambda k: OutOfOrderEngine(abc_pattern, k=k), disordered)
+        assert feeder.chosen_k == 25
+        assert engine.closed
+        assert engine.stats.events_in == len(disordered)
+
+    def test_training_longer_than_stream(self, disordered, abc_pattern):
+        # training >= len(arrival): the entire stream is the training
+        # prefix, the remainder is empty, and nothing is lost — the
+        # prefix replay feeds every event exactly once.
+        feeder = AdaptiveEngineFeeder(MaxObservedK(), training=len(disordered) + 100)
+        engine = feeder.run(lambda k: OutOfOrderEngine(abc_pattern, k=k), disordered)
+        truth = OfflineOracle(abc_pattern).evaluate_set(disordered)
+        assert engine.result_set() == truth
+        assert engine.stats.late_dropped == 0
+        assert engine.stats.events_in == len(disordered)
