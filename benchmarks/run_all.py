@@ -39,6 +39,7 @@ EXPERIMENTS = [
     ("e18", "bench_e18_observability"),
     ("e19", "bench_e19_equality_index"),
     ("e20", "bench_e20_speculative"),
+    ("e21", "bench_e21_ingest_soak"),
 ]
 
 

@@ -1,6 +1,6 @@
-"""Command-line interface: evaluate, generate, and inspect event traces.
+"""Command-line interface: evaluate, generate, serve, and inspect traces.
 
-Three subcommands, mirroring the operational workflow the examples walk
+The subcommands mirror the operational workflow the examples walk
 through::
 
     python -m repro generate --workload synthetic --events 5000 \\
@@ -13,11 +13,24 @@ through::
 ``run --verify`` compares the engine's output against the offline
 oracle and reports recall/precision — the one-command reproduction of
 the paper's correctness story on any recorded trace.
+
+The ingestion pair puts a network front door on the same machinery::
+
+    python -m repro serve --schema orders.schema.json --query "..." \\
+        --k 25 --dir /var/lib/repro/orders --port 7071
+    python -m repro send --port 7071 --source s1 --stream orders \\
+        --trace trace.jsonl
+
+``serve`` runs the fault-tolerant gateway (idempotent admission,
+per-source liveness, backpressure, WAL-backed durability); ``send``
+replays a trace file through the retrying client.  ``explain
+--gateway DIR`` prints the gateway journal's liveness/crash timeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional
 
@@ -29,7 +42,8 @@ from repro.core.parser import parse
 from repro.core.purge import PurgePolicy
 from repro.core.recovery import ResilientRunner
 from repro.core.shedding import ShedPolicy
-from repro.faultinject import CrashError, FaultInjector
+from repro.faultinject import FaultInjector
+from repro.ingest.backoff import BackoffPolicy, run_resilient
 from repro.metrics import compare_keys, render_table, summarize_arrival_latency
 from repro.streams import (
     BurstDropoutModel,
@@ -160,8 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a trace with lifecycle tracing and explain why matches "
              "were emitted — or, with --missing, why the engine missed them",
     )
-    explain.add_argument("--query", required=True, help="query text in the PATTERN language")
-    explain.add_argument("--trace", required=True, help="JSON-lines trace file")
+    explain.add_argument("--query", default=None, help="query text in the PATTERN language")
+    explain.add_argument("--trace", default=None, help="JSON-lines trace file")
     explain.add_argument(
         "--engine", default="ooo",
         choices=["ooo", "inorder", "reorder", "aggressive"],
@@ -189,6 +203,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=None, metavar="N",
         help="tracer ring size in spans (default: ~8 per trace element)",
     )
+    explain.add_argument(
+        "--gateway", default=None, metavar="DIR",
+        help="print the gateway journal timeline (liveness transitions, "
+             "crashes, recoveries) from DIR/gateway.jsonl; may be used "
+             "alone or alongside a query replay",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the fault-tolerant ingestion gateway in front of an engine",
+    )
+    serve.add_argument("--schema", required=True,
+                       help="stream schema JSON (repro-streamspec-v1)")
+    serve.add_argument("--query", required=True, help="query text in the PATTERN language")
+    serve.add_argument(
+        "--engine", default="ooo",
+        choices=["ooo", "inorder", "reorder", "aggressive", "partitioned"],
+    )
+    serve.add_argument("--k", type=int, default=None, help="disorder bound K")
+    serve.add_argument(
+        "--purge", default="eager", help="purge policy: eager | lazy:<interval> | none"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral, printed at start)")
+    serve.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="durability directory (WAL/checkpoint/journal); state found "
+             "there is recovered before listening",
+    )
+    serve.add_argument("--liveness-timeout", type=float, default=2.0, metavar="S",
+                       help="seconds of silence before a source is degraded")
+    serve.add_argument("--dedupe-window", type=int, default=4096, metavar="N",
+                       help="per-source idempotency window capacity")
+    serve.add_argument(
+        "--max-state", type=int, default=None, metavar="N",
+        help="shed policy bound; enables the backpressure ladder "
+             "(throttle hints, busy refusals) as state approaches N",
+    )
+    serve.add_argument("--checkpoint-every", type=int, default=256, metavar="N")
+
+    send = commands.add_parser(
+        "send", help="replay a trace file through the retrying gateway client"
+    )
+    send.add_argument("--host", default="127.0.0.1")
+    send.add_argument("--port", type=int, required=True)
+    send.add_argument("--source", required=True, help="this client's source id")
+    send.add_argument("--stream", required=True, help="stream name (must match the schema)")
+    send.add_argument("--trace", required=True, help="JSON-lines trace file to send")
+    send.add_argument(
+        "--t-event", default="ts", metavar="FIELD",
+        help="attribute name carrying the occurrence timestamp; filled "
+             "from each event's ts when absent from its attrs",
+    )
+    send.add_argument("--window", type=int, default=32,
+                      help="max unacked frames in flight")
+    send.add_argument("--timeout", type=float, default=5.0)
+    send.add_argument("--stats", action="store_true",
+                      help="fetch and print gateway counters after sending")
 
     return parser
 
@@ -257,24 +330,29 @@ def _command_run(args: argparse.Namespace) -> int:
             if args.crash_at is not None
             else None
         )
-        engine = build_engine()
-        runner = ResilientRunner(
-            engine, args.checkpoint_dir, checkpoint_every=interval, fault=fault
-        )
-        try:
-            runner.run(elements)
-        except CrashError as exc:
+        def build_runner() -> ResilientRunner:
+            return ResilientRunner(
+                build_engine(), args.checkpoint_dir,
+                checkpoint_every=interval, fault=fault,
+            )
+
+        def note_crash(attempt: int, delay: float, exc: BaseException) -> None:
             print(f"crash injected: {exc}")
             print(f"recovering from {args.checkpoint_dir} ...")
-            engine = build_engine()
-            runner = ResilientRunner(
-                engine, args.checkpoint_dir, checkpoint_every=interval
-            )
+
+        # The same supervisor loop the ingestion gateway deployments use:
+        # rebuild-and-resume under the shared backoff schedule.
+        runner, crashes = run_resilient(
+            build_runner, elements,
+            policy=BackoffPolicy(base=0.01, cap=0.1, jitter=0.0),
+            on_crash=note_crash,
+        )
+        engine = runner.engine
+        if crashes:
             print(
-                f"recovered: replayed {runner.replayed_elements} logged elements, "
-                f"resuming the trace at element {runner.seq}"
+                f"recovered {crashes} time(s): replayed "
+                f"{runner.replayed_elements} logged elements"
             )
-            runner.run(elements)
     else:
         engine = build_engine()
         if args.metrics_out is not None and args.metrics_every > 0:
@@ -379,9 +457,62 @@ def _export_metrics(engine, total: int, out_path: str, periodic_lines: str) -> N
     print(f"metrics: {lines} JSON snapshot(s) -> {out_path}; exposition -> {prom_path}")
 
 
+def _print_gateway_journal(directory: str) -> int:
+    """Render DIR/gateway.jsonl as a human timeline; 0 when it exists."""
+    import json
+    from pathlib import Path
+
+    path = Path(directory) / "gateway.jsonl"
+    if not path.exists():
+        print(f"no gateway journal at {path}")
+        return 1
+    print(f"gateway journal {path}:")
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            print(f"  (torn record: {line[:60]!r})")
+            continue
+        kind = record.get("kind", "?")
+        if kind == "transition":
+            print(
+                f"  source {record.get('source')!r} -> {record.get('status')} "
+                f"at {record.get('at')} (merged watermark {record.get('watermark')})"
+            )
+        elif kind == "listen":
+            print(f"  listening on {record.get('host')}:{record.get('port')}")
+        elif kind == "crash":
+            print(f"  CRASH at seq {record.get('seq')}")
+        elif kind == "recover":
+            line = f"  recovered: {record.get('frames')} frames replayed from the WAL"
+            if record.get("sources"):
+                line += (
+                    f"; watermark resumed at {record.get('watermark')} holding "
+                    f"for {', '.join(record['sources'])}"
+                )
+            print(line)
+        elif kind == "source":
+            print(f"  source {record.get('source')!r} first seen")
+        elif kind == "seal":
+            print(f"  sealed: {record.get('matches')} matches delivered")
+        else:
+            print(f"  {record}")
+    return 0
+
+
 def _command_explain(args: argparse.Namespace) -> int:
     from repro.obs import explain as explain_mod
 
+    if args.gateway is not None:
+        status = _print_gateway_journal(args.gateway)
+        if args.query is None or args.trace is None:
+            return status
+        print()
+    if args.query is None or args.trace is None:
+        raise ReproError("explain needs --query and --trace (or --gateway DIR)")
     pattern = parse(args.query)
     elements = load_trace(args.trace)
     engine = make_engine(
@@ -446,6 +577,107 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.ingest import GatewayConfig, IngestGateway, load_schema
+
+    pattern = parse(args.query)
+    schema = load_schema(args.schema)
+    shed = (
+        ShedPolicy.drop_oldest(args.max_state) if args.max_state is not None else None
+    )
+    purge = _parse_purge(args.purge)
+
+    def build_engine():
+        return make_engine(
+            args.engine, pattern, k=args.k, purge=purge, shed=shed
+        )
+
+    config = GatewayConfig(
+        schema,
+        host=args.host,
+        port=args.port,
+        dedupe_window=args.dedupe_window,
+        liveness_timeout=args.liveness_timeout,
+        checkpoint_every=args.checkpoint_every,
+    )
+    gateway = IngestGateway(build_engine, config, directory=args.dir)
+
+    async def serve() -> None:
+        await gateway.start()
+        print(
+            f"gateway: stream {schema.name!r} on {config.host}:{gateway.port}"
+            + (f", durable in {args.dir}" if args.dir else " (no durability dir)")
+        )
+        if gateway.recovered_frames:
+            print(f"recovered: {gateway.recovered_frames} frames replayed from the WAL")
+        try:
+            while not gateway.crashed:
+                await asyncio.sleep(0.25)
+        finally:
+            # Reached on Ctrl-C (asyncio.run cancels us) or crash.
+            await gateway.stop(seal=not gateway.crashed)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    stats = gateway.stats()
+    rows = [
+        ["admitted", stats["admitted"]],
+        ["duplicates", stats["duplicates"]],
+        ["quarantined", stats["quarantined"]],
+        ["busy refusals", stats["busy"]],
+        ["sources degraded", stats["degraded_total"]],
+        ["sources recovered", stats["recovered_total"]],
+        ["final watermark", stats["watermark"]],
+        ["matches", stats["matches"]],
+    ]
+    print(render_table(f"gateway {schema.name!r}", ["metric", "value"], rows))
+    return 1 if gateway.crashed else 0
+
+
+def _command_send(args: argparse.Namespace) -> int:
+    from repro.core.event import Event
+    from repro.ingest import IngestClient
+
+    elements = load_trace(args.trace)
+    client = IngestClient(
+        args.host, args.port, args.source, args.stream,
+        timeout=args.timeout, window=args.window,
+    )
+    client.connect()
+    sent = 0
+    for element in elements:
+        if isinstance(element, Event):
+            attrs = dict(element.attrs)
+            attrs.setdefault(args.t_event, element.ts)
+            client.send(element.etype, attrs)
+            sent += 1
+        else:
+            client.watermark(element.ts)
+    stats = client.stats() if args.stats else None
+    report = client.close()
+    rows = [
+        ["frames sent", report.sent],
+        ["admitted", report.admitted],
+        ["duplicates", report.duplicates],
+        ["quarantined", report.quarantined],
+        ["busy retries", report.busy_retries],
+        ["reconnects", report.reconnects],
+        ["resends", report.resends],
+        ["p50 ack latency (s)", round(report.latency_quantile(0.50), 6)],
+        ["p99 ack latency (s)", round(report.latency_quantile(0.99), 6)],
+    ]
+    print(render_table(f"sent {args.trace} as {args.source!r}", ["metric", "value"], rows))
+    if stats is not None:
+        print(
+            f"gateway totals: admitted={stats['admitted']} "
+            f"duplicates={stats['duplicates']} quarantined={stats['quarantined']} "
+            f"watermark={stats['watermark']}"
+        )
+    return 0
+
+
 def _command_inspect(args: argparse.Namespace) -> int:
     from repro.core.event import Event, Punctuation
 
@@ -482,6 +714,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_generate(args)
         if args.command == "explain":
             return _command_explain(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "send":
+            return _command_send(args)
         return _command_inspect(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -174,6 +174,22 @@ def _read_jsonl(path: Path, label: str) -> List[Dict[str, Any]]:
     return records
 
 
+def read_wal_elements(directory: Union[str, Path]) -> List[StreamElement]:
+    """The stream elements durably logged in *directory*'s WAL, in order.
+
+    The ingestion gateway rebuilds its idempotent-admission window from
+    this after a crash: every WAL event re-derives its idempotency id
+    through the stream schema, so redeliveries racing the restart are
+    deduplicated even though the in-memory window died with the old
+    process.  Close sentinels are skipped; torn final lines are
+    repaired exactly as recovery itself repairs them.
+    """
+    wal = _read_jsonl(Path(directory) / WAL_NAME, WAL_NAME)
+    return [
+        decode_element(record) for record in wal if record["kind"] != "close"
+    ]
+
+
 class ResilientRunner:
     """Checkpointed, write-ahead-logged driver around any engine.
 
@@ -444,6 +460,17 @@ class ResilientRunner:
         if self._wal_dirty and self._wal_handle is not None:
             self._wal_handle.flush()
             self._wal_dirty = False
+
+    def sync(self) -> None:
+        """Make the buffered WAL tail durable now.
+
+        The deferred-flush contract (see :meth:`_wal_append`) assumes
+        un-flushed elements can simply be re-fed from the input.  An
+        ingestion gateway breaks that assumption the moment it *acks* a
+        frame — an acked element will never be resent — so it must sync
+        between feeding a group of frames and acknowledging them.
+        """
+        self._flush_wal()
 
     def _delivered_append(self, record: Dict[str, Any]) -> None:
         # WAL first: a delivery record must never be durable while the

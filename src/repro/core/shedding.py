@@ -92,6 +92,19 @@ class ShedPolicy:
         """Hashable identity for snapshot config verification."""
         return (self.mode.value, self.max_state, self.victims)
 
+    def pressure(self, state_size: int) -> float:
+        """Fraction of the shed bound *state_size* consumes (may exceed 1).
+
+        The ingestion gateway's backpressure ladder keys off this:
+        below its soft threshold admission is free, between soft and
+        1.0 clients are throttled, and at/after 1.0 the engine is
+        already shedding — new frames are rejected with a retry-after
+        hint rather than buffered without bound.
+        """
+        if state_size <= 0:
+            return 0.0
+        return state_size / self.max_state
+
     def unmatched_victims(self, retained_types) -> Tuple[str, ...]:
         """Victims that can never match a retained event type.
 

@@ -122,6 +122,14 @@ class FaultInjector:
         0-based event index after which :meth:`wrap` stops source time:
         later events keep their identity but their timestamps are
         clamped to the maximum seen before the fault.
+    duplicate_at:
+        0-based event indices :meth:`wrap` *redelivers*: the event is
+        yielded again immediately after itself, identity and all — the
+        shape an at-least-once transport produces when an ack is lost.
+        Downstream layers with idempotent admission must count exactly
+        one of each pair; engines fed directly will double-process,
+        which is precisely what the gateway tests assert cannot leak
+        through admission.
     """
 
     def __init__(
@@ -131,6 +139,7 @@ class FaultInjector:
         corrupt_at: Sequence[int] = (),
         corrupt_shape: str = "nan_ts",
         stuck_clock_at: Optional[int] = None,
+        duplicate_at: Sequence[int] = (),
     ):
         if corrupt_shape not in CORRUPT_SHAPES:
             raise ReproError(
@@ -143,17 +152,45 @@ class FaultInjector:
         self.corrupt_at = set(corrupt_at)
         self.corrupt_shape = corrupt_shape
         self.stuck_clock_at = stuck_clock_at
+        self.duplicate_at = set(duplicate_at)
         self.crashes_fired: List[int] = []
 
     @classmethod
-    def from_outages(cls, crash_indices: Sequence[int], **kwargs: Any) -> "FaultInjector":
+    def from_outages(
+        cls,
+        crash_indices: Optional[Sequence[int]] = None,
+        schedule: Optional[Any] = None,
+        result: Optional[Any] = None,
+        node: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "FaultInjector":
         """Crash schedule from netsim outage positions.
 
-        Pair with
-        :meth:`repro.netsim.simulator.SimulationResult.crash_indices`:
-        each simulated node outage becomes an engine crash at the
-        arrival-stream position where the outage began.
+        Two forms:
+
+        * ``from_outages(indices)`` — precomputed positions, paired
+          with :meth:`repro.netsim.simulator.SimulationResult.
+          crash_indices`;
+        * ``from_outages(schedule=failures, result=sim, node="s1")`` —
+          target a *single* source/node id: only that node's outages
+          become crash points, computed against the simulated arrival
+          stream.  Before this form existed, outage-derived crash
+          schedules were necessarily global — every scripted outage hit
+          the same engine — which made per-source fault drills (one
+          flaky source among healthy ones, the E21 soak scenario)
+          impossible to express.
         """
+        if crash_indices is None:
+            if schedule is None or result is None or node is None:
+                raise ReproError(
+                    "from_outages needs either crash_indices or all of "
+                    "schedule=, result=, node="
+                )
+            crash_indices = result.crash_indices(schedule, node)
+        elif schedule is not None or result is not None or node is not None:
+            raise ReproError(
+                "from_outages takes crash_indices or schedule/result/node, not both"
+            )
         return cls(crash_at=crash_indices, **kwargs)
 
     # -- crash points ---------------------------------------------------------------
@@ -217,8 +254,11 @@ class FaultInjector:
         """Apply corruption and clock faults to an element stream.
 
         Indices count *all* stream elements (events and punctuations);
-        only events are corrupted or clock-clamped — punctuations pass
-        through untouched.
+        only events are corrupted, duplicated or clock-clamped —
+        punctuations pass through untouched.  A duplicated event is
+        redelivered *after* any clock clamping, so both copies are
+        byte-identical (the redelivery an at-least-once transport
+        produces is a copy of what was sent, not a fresh read).
         """
         max_ts = 0
         for index, element in enumerate(elements):
@@ -236,6 +276,9 @@ class FaultInjector:
                 and index > self.stuck_clock_at
                 and element.ts > max_ts
             ):
-                yield Event(element.etype, max_ts, element.attrs, eid=element.eid)
+                delivered = Event(element.etype, max_ts, element.attrs, eid=element.eid)
             else:
-                yield element
+                delivered = element
+            yield delivered
+            if index in self.duplicate_at:
+                yield delivered

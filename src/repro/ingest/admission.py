@@ -1,0 +1,240 @@
+"""Idempotent admission: redelivered frames count, they do not re-feed.
+
+Retrying clients make delivery at-least-once — a crash between durable
+admission and the ack makes the client resend, and an ingestion layer
+that re-feeds the resend silently double-counts matches.  Admission is
+therefore *idempotent within a bounded window*: every frame derives a
+deterministic idempotency id (:mod:`repro.ingest.schema`), each source
+keeps a bounded FIFO window of recently admitted ids, and a frame whose
+id is in the window is counted as a duplicate and dropped before the
+engine ever sees it.
+
+The window is engine state in the snapshot sense: it must survive a
+crash or redeliveries racing the restart get through.  Two mechanisms
+cover the two failure shapes:
+
+* :meth:`AdmissionController.snapshot_state` /
+  :meth:`~AdmissionController.restore_state` — checkpointable state,
+  complete under analyzer rule R001;
+* :meth:`AdmissionController.preload` — rebuild from the WAL the
+  gateway's :class:`~repro.core.recovery.ResilientRunner` already
+  keeps, for recovery paths that have the log but not a checkpoint of
+  this controller.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Dict, Iterable, Mapping, NamedTuple, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.event import Event
+from repro.ingest.schema import StreamSchema
+
+
+class AdmissionOutcome(enum.Enum):
+    """What happened to one offered frame."""
+
+    ADMITTED = "admitted"  #: validated, first delivery — feed the engine
+    DUPLICATE = "duplicate"  #: redelivery of an admitted frame — count, drop
+    QUARANTINED = "quarantined"  #: schema violation — count, drop, report reason
+
+
+class Admission(NamedTuple):
+    """The decision for one frame."""
+
+    outcome: AdmissionOutcome
+    reason: Optional[str]  #: quarantine reason (None otherwise)
+    event: Optional[Event]  #: the built event (ADMITTED only)
+    idem_id: Optional[str]  #: derived idempotency id (None when quarantined)
+
+
+class DedupeWindow:
+    """Bounded FIFO set of recently admitted idempotency ids."""
+
+    __slots__ = ("capacity", "_order", "_ids")
+
+    def __init__(self, capacity: int):
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ConfigurationError(
+                f"dedupe window capacity must be an int >= 1, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._order: deque = deque()
+        self._ids: set = set()
+
+    def __contains__(self, idem_id: str) -> bool:
+        return idem_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, idem_id: str) -> None:
+        """Record *idem_id*, evicting the oldest id past capacity."""
+        if idem_id in self._ids:
+            return
+        self._order.append(idem_id)
+        self._ids.add(idem_id)
+        while len(self._order) > self.capacity:
+            evicted = self._order.popleft()
+            self._ids.discard(evicted)
+
+    def snapshot_state(self) -> dict:
+        """FIFO order is the whole state; the set is derived from it."""
+        return {"order": list(self._order), "size": len(self._ids)}
+
+    def restore_state(self, state: dict) -> None:
+        self._order = deque(state["order"])
+        self._ids = set(self._order)
+
+    def __repr__(self) -> str:
+        return f"DedupeWindow({len(self._ids)}/{self.capacity})"
+
+
+class SourceAdmission:
+    """Per-source dedupe window plus the per-source accounting."""
+
+    __slots__ = ("window", "admitted", "duplicates", "quarantined")
+
+    def __init__(self, capacity: int):
+        self.window = DedupeWindow(capacity)
+        self.admitted = 0
+        self.duplicates = 0
+        self.quarantined = 0
+
+    def snapshot_state(self) -> dict:
+        return {
+            "window": self.window.snapshot_state(),
+            "admitted": self.admitted,
+            "duplicates": self.duplicates,
+            "quarantined": self.quarantined,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.window.restore_state(state["window"])
+        self.admitted = state["admitted"]
+        self.duplicates = state["duplicates"]
+        self.quarantined = state["quarantined"]
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceAdmission(admitted={self.admitted}, "
+            f"duplicates={self.duplicates}, quarantined={self.quarantined})"
+        )
+
+
+class AdmissionController:
+    """Schema validation + per-source idempotent dedupe, in one decision.
+
+    Parameters
+    ----------
+    schema:
+        The stream's admission contract.
+    window:
+        Per-source dedupe window capacity (ids).  Bound it by the
+        client's resend horizon: a window of N dedupes any redelivery
+        arriving within N admitted frames of the original.
+    """
+
+    def __init__(self, schema: StreamSchema, window: int = 4096):
+        if not isinstance(schema, StreamSchema):
+            raise ConfigurationError(f"schema must be a StreamSchema, got {schema!r}")
+        self.schema = schema
+        self.window = window
+        self._sources: Dict[str, SourceAdmission] = {}
+        self._recovered = DedupeWindow(max(window, 1))
+
+    # -- the decision -------------------------------------------------------------------
+
+    def admit(self, source: str, etype: Any, attrs: Any) -> Admission:
+        """Decide one frame from *source*; never raises on bad frames."""
+        state = self._sources.get(source)
+        if state is None:
+            state = self._sources[source] = SourceAdmission(self.window)
+        reason = self.schema.check_frame(etype, attrs)
+        if reason is not None:
+            state.quarantined += 1
+            return Admission(AdmissionOutcome.QUARANTINED, reason, None, None)
+        idem = self.schema.idempotency_id(etype, attrs)
+        if idem in state.window or idem in self._recovered:
+            state.duplicates += 1
+            return Admission(AdmissionOutcome.DUPLICATE, None, None, idem)
+        state.window.add(idem)
+        state.admitted += 1
+        return Admission(
+            AdmissionOutcome.ADMITTED, None, self.schema.build_event(etype, attrs), idem
+        )
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def preload(self, idem_ids: Iterable[str]) -> int:
+        """Seed the recovery window with ids replayed from a WAL.
+
+        Called once after a crash, before any source reconnects: the
+        WAL's events re-derive their ids through the schema, and any
+        post-restart redelivery of one of them is a duplicate even
+        though the per-source windows restarted empty.  Returns the
+        number of ids loaded (the window keeps the most recent ones).
+        """
+        count = 0
+        for idem in idem_ids:
+            self._recovered.add(idem)
+            count += 1
+        return count
+
+    def preload_events(self, events: Iterable[Event]) -> int:
+        """Seed the recovery window from replayed WAL events."""
+        return self.preload(
+            self.schema.idempotency_id(event.etype, event._attrs)
+            for event in events
+        )
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def source_counts(self, source: str) -> SourceAdmission:
+        """Per-source accounting (zeros for a never-seen source)."""
+        return self._sources.get(source, SourceAdmission(self.window))
+
+    @property
+    def admitted(self) -> int:
+        return sum(s.admitted for s in self._sources.values())
+
+    @property
+    def duplicates(self) -> int:
+        return sum(s.duplicates for s in self._sources.values())
+
+    @property
+    def quarantined(self) -> int:
+        return sum(s.quarantined for s in self._sources.values())
+
+    def sources(self) -> list:
+        """Known source ids, sorted for reproducible reporting."""
+        return sorted(self._sources)
+
+    # -- checkpoint ---------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "sources": {
+                source: self._sources[source].snapshot_state()
+                for source in sorted(self._sources)
+            },
+            "recovered": self._recovered.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._sources = {}
+        for source, sub in state["sources"].items():
+            entry = SourceAdmission(self.window)
+            entry.restore_state(sub)
+            self._sources[source] = entry
+        self._recovered = DedupeWindow(max(self.window, 1))
+        self._recovered.restore_state(state["recovered"])
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController({self.schema.name!r}, "
+            f"sources={len(self._sources)}, admitted={self.admitted}, "
+            f"duplicates={self.duplicates}, quarantined={self.quarantined})"
+        )

@@ -1,0 +1,851 @@
+"""The ingestion gateway: a fault-tolerant TCP front door for engines.
+
+:class:`IngestGateway` accepts newline-delimited-JSON connections from
+many sources and feeds one engine behind a
+:class:`~repro.core.recovery.ResilientRunner`, composing the layers the
+rest of the package provides into the exactly-once admission story:
+
+* **schema validation** (:mod:`repro.ingest.schema`) — malformed frames
+  are quarantined with a reason, never fed;
+* **idempotent admission** (:mod:`repro.ingest.admission`) — redelivered
+  frames are counted as duplicates and dropped; after a crash the
+  per-source windows are rebuilt from the runner's WAL so redeliveries
+  racing the restart are still caught;
+* **group-commit acks** — every batch of frames read off a socket is
+  admitted, fed, and made durable (:meth:`ResilientRunner.sync`) before
+  a single ack is written back.  An acked frame is on disk; an unacked
+  frame will be resent by the client and deduped.  Exactly-once,
+  relative to acks, with one WAL flush per batch instead of per frame;
+* **per-source watermarks** (:mod:`repro.ingest.liveness`) — each
+  source's occurrence times advance its own watermark; the min-merge
+  becomes engine punctuation.  A source silent past the liveness
+  timeout is *degraded*: fenced out of the merge so its silence stalls
+  nothing, journalled, traced, and counted.  On reconnect its watermark
+  floor is the already-emitted mark, so recovery never drags
+  punctuation backward;
+* **backpressure** — admission consults the engine's
+  :class:`~repro.core.shedding.ShedPolicy` occupancy
+  (:meth:`~repro.core.shedding.ShedPolicy.pressure`): in the soft band
+  acks carry a ``throttle`` hint (clients slow down), at the hard
+  threshold frames are refused with ``busy`` + ``retry_after`` and are
+  *not* admitted — the client retries later.  Never unbounded
+  buffering.
+
+The wire protocol is one JSON object per line in each direction (the
+:mod:`repro.streams.replay` codec idiom).  Client → server ops:
+``hello`` (first frame: source id, stream name, protocol version),
+``event`` (sequence number ``n``, ``etype``, ``attrs``), ``watermark``
+(explicit idle-source progress), ``stats``, ``bye``.  Server → client:
+``hello_ok`` / ``error``, per-frame acks ``{"op": "ack", "n": ...,
+"status": "admitted" | "duplicate" | "quarantined" | "ok"}``, ``busy``
+refusals, ``stats_ok``, ``bye_ok``.
+
+Determinism: all liveness decisions take injected ``now`` values; only
+the asyncio timer task and the connection handlers read the wall clock.
+Tests drive :meth:`IngestGateway.admit_frame` / :meth:`IngestGateway.
+tick` directly with scripted clocks and never open a socket unless the
+transport itself is under test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Set, Union
+
+from repro.core.errors import ConfigurationError, ReproError
+from repro.core.event import Event, Punctuation
+from repro.core.recovery import ResilientRunner, read_wal_elements
+from repro.faultinject import CrashError
+from repro.ingest.admission import AdmissionController, AdmissionOutcome
+from repro.ingest.liveness import LivenessTracker, SourceStatus, Transition
+from repro.ingest.schema import StreamSchema
+from repro.obs import trace as stages
+
+PROTOCOL_VERSION = 1
+JOURNAL_NAME = "gateway.jsonl"
+
+
+class GatewayConfig:
+    """Tunables for one gateway instance.
+
+    Parameters
+    ----------
+    schema:
+        The stream's admission contract.
+    host / port:
+        Listen address; port 0 binds an ephemeral port (the bound port
+        is on :attr:`IngestGateway.port` after start).
+    dedupe_window:
+        Per-source idempotency window capacity.
+    liveness_timeout:
+        Seconds of silence before a live source is degraded.
+    tick_interval:
+        Liveness timer period; defaults to a quarter of the timeout.
+    soft_pressure / hard_pressure:
+        Shed-policy occupancy fractions bounding the backpressure
+        ladder: above *soft*, acks carry a ``throttle`` hint; at or
+        above *hard*, frames are refused with ``busy``.
+    retry_after:
+        Seconds the ``busy`` refusal tells clients to wait.
+    checkpoint_every:
+        Runner checkpoint interval in WAL elements.
+    """
+
+    __slots__ = (
+        "schema",
+        "host",
+        "port",
+        "dedupe_window",
+        "liveness_timeout",
+        "tick_interval",
+        "soft_pressure",
+        "hard_pressure",
+        "retry_after",
+        "checkpoint_every",
+    )
+
+    def __init__(
+        self,
+        schema: StreamSchema,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        dedupe_window: int = 4096,
+        liveness_timeout: float = 2.0,
+        tick_interval: Optional[float] = None,
+        soft_pressure: float = 0.7,
+        hard_pressure: float = 0.95,
+        retry_after: float = 0.05,
+        checkpoint_every: int = 256,
+    ):
+        if not isinstance(schema, StreamSchema):
+            raise ConfigurationError(f"schema must be a StreamSchema, got {schema!r}")
+        if liveness_timeout <= 0:
+            raise ConfigurationError(
+                f"liveness_timeout must be > 0, got {liveness_timeout!r}"
+            )
+        if not 0.0 < soft_pressure <= hard_pressure:
+            raise ConfigurationError(
+                f"need 0 < soft_pressure <= hard_pressure, got "
+                f"{soft_pressure!r} / {hard_pressure!r}"
+            )
+        if retry_after <= 0:
+            raise ConfigurationError(f"retry_after must be > 0, got {retry_after!r}")
+        self.schema = schema
+        self.host = host
+        self.port = port
+        self.dedupe_window = dedupe_window
+        self.liveness_timeout = float(liveness_timeout)
+        self.tick_interval = (
+            float(tick_interval)
+            if tick_interval is not None
+            else self.liveness_timeout / 4.0
+        )
+        if self.tick_interval <= 0:
+            raise ConfigurationError(
+                f"tick_interval must be > 0, got {tick_interval!r}"
+            )
+        self.soft_pressure = float(soft_pressure)
+        self.hard_pressure = float(hard_pressure)
+        self.retry_after = float(retry_after)
+        self.checkpoint_every = checkpoint_every
+
+
+class _DirectRunner:
+    """In-memory stand-in for :class:`ResilientRunner` (durability off).
+
+    Keeps the gateway's feeding surface uniform — ``feed`` / ``sync`` /
+    ``close`` / ``matches`` / ``seq`` — when no directory is given, at
+    the cost of losing everything on a crash (which is exactly what an
+    undurable deployment asked for).
+    """
+
+    __slots__ = ("engine", "matches", "recovered", "_seq", "_closed")
+
+    def __init__(self, engine: Any):
+        self.engine = engine
+        self.matches: List[Any] = []
+        self.recovered = False
+        self._seq = 0
+        self._closed = False
+
+    def feed(self, element: Any) -> List[Any]:
+        self._seq += 1
+        out = self.engine.feed(element)
+        self.matches.extend(out)
+        return out
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> List[Any]:
+        if self._closed:
+            return []
+        self._closed = True
+        out = self.engine.close()
+        self.matches.extend(out)
+        return out
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+
+class IngestGateway:
+    """One stream's ingestion front door: admission, liveness, durability.
+
+    Parameters
+    ----------
+    make_engine:
+        Zero-argument engine factory.  A factory (not an instance) so a
+        recovering incarnation builds the same fresh configuration the
+        runner's checkpoint restore expects.
+    config:
+        :class:`GatewayConfig`.
+    directory:
+        Durability directory for the :class:`ResilientRunner` (WAL,
+        checkpoint, delivery log, gateway journal).  None runs without
+        durability (tests, throwaway demos).
+    fault:
+        Optional :class:`~repro.faultinject.FaultInjector` handed to the
+        runner — its crash points simulate the gateway process dying
+        mid-ingest.
+    tracer / metrics:
+        Optional observability attached to the engine; the gateway adds
+        its own counters (admission outcomes, busy refusals, liveness
+        transitions) and records ``source_degraded`` /
+        ``source_recovered`` spans.
+    clock:
+        Wall clock used by the transport layer only (injectable for
+        tests); ``time.monotonic`` by default.
+    """
+
+    def __init__(
+        self,
+        make_engine: Callable[[], Any],
+        config: GatewayConfig,
+        directory: Optional[Union[str, Path]] = None,
+        fault: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config
+        self.schema = config.schema
+        self._clock = clock
+        engine = make_engine()
+        if tracer is not None or metrics is not None:
+            engine.enable_observability(tracer=tracer, metrics=metrics)
+        self.tracer = tracer
+        self.registry = metrics
+        if directory is not None:
+            self.directory: Optional[Path] = Path(directory)
+            self.runner: Any = ResilientRunner(
+                engine,
+                self.directory,
+                checkpoint_every=config.checkpoint_every,
+                fault=fault,
+            )
+        else:
+            if fault is not None:
+                raise ConfigurationError(
+                    "fault injection needs a durability directory — a crash "
+                    "without a WAL has nothing to recover from"
+                )
+            self.directory = None
+            self.runner = _DirectRunner(engine)
+        self.admission = AdmissionController(self.schema, window=config.dedupe_window)
+        self.liveness = LivenessTracker(
+            config.liveness_timeout, slack=self.schema.source_slack
+        )
+        self.recovered_frames = 0
+        self._known_sources: Set[str] = set()
+        if self.directory is not None and self.runner.recovered:
+            events = []
+            emitted = -1
+            for element in read_wal_elements(self.directory):
+                if isinstance(element, Event):
+                    events.append(element)
+                elif isinstance(element, Punctuation) and element.ts > emitted:
+                    emitted = element.ts
+            self.recovered_frames = self.admission.preload_events(events)
+            # Restore watermark progress, not just dedupe state.  The
+            # emitted mark resumes at the highest punctuation the WAL fed
+            # downstream (post-restart punctuation stays monotone with
+            # the pre-crash stream), and every journalled source is
+            # re-registered floored at that mark: until it reconnects
+            # and speaks — or the liveness timeout fences it — it keeps
+            # holding the min-merge, so the first source back after a
+            # restart cannot race punctuation past sources still backing
+            # off, late-dropping their in-flight frames.
+            self.liveness.watermarks.restore_state(
+                {"marks": {}, "fenced": [], "emitted": emitted}
+            )
+            now = self._clock()
+            for source in self._read_journal_sources():
+                self._known_sources.add(source)
+                self.liveness.connect(source, now)
+            self._journal(
+                "recover",
+                frames=self.recovered_frames,
+                watermark=emitted,
+                sources=sorted(self._known_sources),
+            )
+        self.busy_total = 0
+        self.throttled_total = 0
+        self.crashed = False
+        self.closed = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tick_task: Optional[asyncio.Task] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._bound_port: Optional[int] = None
+        if metrics is not None:
+            self._c_admitted = metrics.counter(
+                "repro_ingest_admitted_total", "frames admitted and fed"
+            )
+            self._c_duplicates = metrics.counter(
+                "repro_ingest_duplicates_total", "redelivered frames deduped"
+            )
+            self._c_quarantined = metrics.counter(
+                "repro_ingest_quarantined_total", "frames failing schema admission"
+            )
+            self._c_busy = metrics.counter(
+                "repro_ingest_busy_total", "frames refused under hard backpressure"
+            )
+            self._c_degraded = metrics.counter(
+                "repro_ingest_degraded_total", "liveness degradations"
+            )
+            self._c_recovered = metrics.counter(
+                "repro_ingest_recovered_total", "source recoveries"
+            )
+            self._g_live = metrics.gauge(
+                "repro_ingest_sources_live", "sources currently live"
+            )
+            self._g_watermark = metrics.gauge(
+                "repro_ingest_merged_watermark", "merged source watermark"
+            )
+        else:
+            self._c_admitted = self._c_duplicates = self._c_quarantined = None
+            self._c_busy = self._c_degraded = self._c_recovered = None
+            self._g_live = self._g_watermark = None
+
+    # -- engine access ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> Any:
+        return self.runner.engine
+
+    def results(self) -> List[Any]:
+        """Matches delivered by this incarnation."""
+        return list(self.runner.matches)
+
+    @property
+    def port(self) -> int:
+        if self._bound_port is None:
+            raise ReproError("gateway is not listening; call start() first")
+        return self._bound_port
+
+    # -- admission core (transport-independent) ----------------------------------------
+
+    def pressure(self) -> float:
+        """Shed-policy occupancy in [0, 1+); 0.0 without a shed policy."""
+        shed = getattr(self.engine, "shed", None)
+        if shed is None:
+            return 0.0
+        return shed.pressure(self.engine.state_size())
+
+    def admit_frame(
+        self, source: str, etype: Any, attrs: Any, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Decide and apply one event frame; returns the ack payload.
+
+        The full admission ladder: backpressure refusal → schema
+        quarantine → duplicate drop → feed + watermark advance.  Raises
+        :class:`~repro.faultinject.CrashError` when an injected crash
+        point fires (the caller owns crash semantics).  The frame is NOT
+        durable until :meth:`sync_acks` — transports must sync before
+        acking admitted frames.
+        """
+        if self.crashed:
+            raise ReproError("gateway crashed; rebuild it to recover")
+        if now is None:
+            now = self._clock()
+        self._remember_source(source)
+        pressure = self.pressure()
+        if pressure >= self.config.hard_pressure:
+            self.busy_total += 1
+            if self._c_busy is not None:
+                self._c_busy.inc()
+            return {
+                "status": "busy",
+                "retry_after": self.config.retry_after,
+                "pressure": round(pressure, 4),
+            }
+        admission = self.admission.admit(source, etype, attrs)
+        if admission.outcome is AdmissionOutcome.QUARANTINED:
+            if self._c_quarantined is not None:
+                self._c_quarantined.inc()
+            # Stamp activity: a source sending garbage is alive, and its
+            # malformed frames must not read as silence to liveness.
+            transition = self.liveness.connect(source, now)
+            if transition is not None:
+                self._note_transition(transition)
+            return {"status": "quarantined", "reason": admission.reason}
+        if admission.outcome is AdmissionOutcome.DUPLICATE:
+            if self._c_duplicates is not None:
+                self._c_duplicates.inc()
+            transition = self.liveness.connect(source, now)
+            if transition is not None:
+                self._note_transition(transition)
+            return {"status": "duplicate"}
+        event = admission.event
+        transition = self.liveness.observe(source, event.ts, now)
+        if transition is not None:
+            self._note_transition(transition)
+        try:
+            self.runner.feed(event)
+            self._advance_watermark()
+        except CrashError:
+            self._note_crash()
+            raise
+        if self._c_admitted is not None:
+            self._c_admitted.inc()
+        ack: Dict[str, Any] = {"status": "admitted"}
+        if pressure >= self.config.soft_pressure:
+            # Soft band: admit, but ask the client to slow down
+            # proportionally to how deep into the band we are.
+            band = self.config.hard_pressure - self.config.soft_pressure
+            depth = (pressure - self.config.soft_pressure) / band if band else 1.0
+            ack["throttle"] = round(self.config.retry_after * min(1.0, depth), 6)
+            self.throttled_total += 1
+        return ack
+
+    def assert_watermark(
+        self, source: str, ts: int, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """An idle source asserted its progress; advance punctuation."""
+        if self.crashed:
+            raise ReproError("gateway crashed; rebuild it to recover")
+        if now is None:
+            now = self._clock()
+        self._remember_source(source)
+        transition = self.liveness.connect(source, now)
+        if transition is not None:
+            self._note_transition(transition)
+        self.liveness.assert_watermark(source, ts, now)
+        try:
+            self._advance_watermark()
+        except CrashError:
+            self._note_crash()
+            raise
+        return {"status": "ok", "watermark": self.liveness.merged_watermark()}
+
+    def sync_acks(self) -> None:
+        """Group commit: make every fed frame durable before acking it."""
+        self.runner.sync()
+
+    def connect_source(self, source: str, now: Optional[float] = None) -> None:
+        """Register a (re)connecting source with liveness."""
+        if now is None:
+            now = self._clock()
+        self._remember_source(source)
+        transition = self.liveness.connect(source, now)
+        if transition is not None:
+            self._note_transition(transition)
+
+    def disconnect_source(self, source: str, now: Optional[float] = None) -> None:
+        """Note a departing source; the liveness timeout fences it later."""
+        if now is None:
+            now = self._clock()
+        transition = self.liveness.disconnect(source, now)
+        if transition is not None:
+            self._note_transition(transition)
+            try:
+                self._advance_watermark()
+            except CrashError:
+                self._note_crash()
+                raise
+
+    def tick(self, now: Optional[float] = None) -> List[Transition]:
+        """One liveness sweep: degrade silent sources, advance the merge."""
+        if self.crashed or self.closed:
+            return []
+        if now is None:
+            now = self._clock()
+        transitions = self.liveness.tick(now)
+        for transition in transitions:
+            self._note_transition(transition)
+        if transitions:
+            try:
+                self._advance_watermark()
+            except CrashError:
+                self._note_crash()
+                raise
+        return transitions
+
+    def _advance_watermark(self) -> None:
+        # Fed AFTER the event that moved it: the mark trails t_event by
+        # slack + 1, so the punctuation never contradicts its trigger.
+        punctuation = self.liveness.watermarks.advance()
+        if punctuation is not None:
+            self.runner.feed(punctuation)
+        if self._g_watermark is not None:
+            self._g_watermark.set(self.liveness.merged_watermark())
+
+    def _note_transition(self, transition: Transition) -> None:
+        stage = (
+            stages.SOURCE_RECOVERED
+            if transition.status is SourceStatus.LIVE
+            else stages.SOURCE_DEGRADED
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.engine.arrival_index,
+                stage,
+                detail=f"{transition.source}:{transition.status.value}",
+                stream="ingest",
+            )
+        if transition.status is SourceStatus.LIVE:
+            if self._c_recovered is not None:
+                self._c_recovered.inc()
+        elif self._c_degraded is not None:
+            self._c_degraded.inc()
+        if self._g_live is not None:
+            self._g_live.set(self.liveness.live_count())
+        self._journal(
+            "transition",
+            source=transition.source,
+            status=transition.status.value,
+            at=round(transition.at, 6),
+            watermark=self.liveness.merged_watermark(),
+        )
+
+    def _note_crash(self) -> None:
+        self.crashed = True
+        self._journal("crash", seq=self.runner.seq)
+
+    def _journal(self, kind: str, **fields: Any) -> None:
+        if self.directory is None:
+            return
+        record = {"kind": kind}
+        record.update(fields)
+        with (self.directory / JOURNAL_NAME).open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _remember_source(self, source: str) -> None:
+        """Journal a source's first sighting so a restart re-registers it."""
+        if source in self._known_sources:
+            return
+        self._known_sources.add(source)
+        self._journal("source", source=source)
+
+    def _read_journal_sources(self) -> List[str]:
+        """Distinct journalled source ids, in first-sighting order."""
+        path = self.directory / JOURNAL_NAME
+        if not path.exists():
+            return []
+        sources: List[str] = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn trailing write: repaired semantics, skip
+            if record.get("kind") == "source" and record.get("source"):
+                if record["source"] not in sources:
+                    sources.append(record["source"])
+        return sources
+
+    # -- stats / sealing ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Operator-facing counters, JSON-ready (the ``stats`` op body)."""
+        return {
+            "stream": self.schema.name,
+            "admitted": self.admission.admitted,
+            "duplicates": self.admission.duplicates,
+            "quarantined": self.admission.quarantined,
+            "busy": self.busy_total,
+            "throttled": self.throttled_total,
+            "recovered_frames": self.recovered_frames,
+            "watermark": self.liveness.merged_watermark(),
+            "sources": {
+                source: {
+                    "status": self.liveness.status_of(source).value
+                    if self.liveness.status_of(source) is not None
+                    else "unknown",
+                    "admitted": self.admission.source_counts(source).admitted,
+                    "duplicates": self.admission.source_counts(source).duplicates,
+                    "quarantined": self.admission.source_counts(source).quarantined,
+                }
+                for source in sorted(
+                    set(self.admission.sources()) | set(self.liveness.sources())
+                )
+            },
+            "degraded_total": self.liveness.degraded_total,
+            "recovered_total": self.liveness.recovered_total,
+            "state_size": self.engine.state_size(),
+            "seq": self.runner.seq,
+            "matches": len(self.runner.matches),
+        }
+
+    def seal(self) -> List[Any]:
+        """Close the engine through the runner; returns final matches."""
+        if self.crashed:
+            raise ReproError("gateway crashed; rebuild it to recover")
+        self.closed = True
+        matches = self.runner.close()
+        self._journal("seal", matches=len(self.runner.matches))
+        return matches
+
+    # -- asyncio transport -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listen socket and start the liveness timer."""
+        if self.crashed:
+            raise ReproError("gateway crashed; rebuild it to recover")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._tick_task = asyncio.get_running_loop().create_task(self._tick_loop())
+        self._journal("listen", host=self.config.host, port=self._bound_port)
+
+    async def stop(self, seal: bool = True) -> None:
+        """Stop accepting, drop connections, optionally seal the engine."""
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            self._tick_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        if seal and not self.crashed and not self.closed:
+            self.seal()
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.tick_interval)
+            try:
+                self.tick(self._clock())
+            except CrashError:
+                self._abort_crashed()
+                return
+
+    def _abort_crashed(self) -> None:
+        # Simulated process death: every connection is torn, nothing is
+        # acked, the listener stops.  Clients reconnect to the next
+        # incarnation and resend; the WAL-preloaded window dedupes.
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            self._tick_task = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._writers):
+            writer.transport.abort()
+        self._writers.clear()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        source: Optional[str] = None
+        buffer = b""
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                lines = buffer.split(b"\n")
+                buffer = lines.pop()
+                replies: List[Dict[str, Any]] = []
+                fed = False
+                goodbye = False
+                for raw in lines:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        frame = json.loads(raw)
+                    except ValueError:
+                        replies.append(
+                            {"op": "error", "reason": "frame is not valid JSON"}
+                        )
+                        goodbye = True
+                        break
+                    op = frame.get("op")
+                    if source is None:
+                        if op != "hello":
+                            replies.append(
+                                {"op": "error", "reason": "first frame must be hello"}
+                            )
+                            goodbye = True
+                            break
+                        reply, source = self._handle_hello(frame)
+                        replies.append(reply)
+                        if source is None:
+                            goodbye = True
+                            break
+                        continue
+                    if op == "event":
+                        ack = self.admit_frame(
+                            source, frame.get("etype"), frame.get("attrs")
+                        )
+                        ack["op"] = "ack"
+                        ack["n"] = frame.get("n")
+                        fed = fed or ack["status"] == "admitted"
+                        replies.append(ack)
+                    elif op == "watermark":
+                        ack = self.assert_watermark(source, int(frame.get("ts", 0)))
+                        ack["op"] = "ack"
+                        ack["n"] = frame.get("n")
+                        fed = True
+                        replies.append(ack)
+                    elif op == "stats":
+                        replies.append({"op": "stats_ok", "stats": self.stats()})
+                    elif op == "bye":
+                        replies.append({"op": "bye_ok"})
+                        goodbye = True
+                        break
+                    else:
+                        replies.append(
+                            {"op": "error", "reason": f"unknown op {op!r}"}
+                        )
+                if fed:
+                    # The group commit: nothing above is acked until the
+                    # WAL tail holding it is flushed.
+                    self.sync_acks()
+                if replies:
+                    writer.write(
+                        b"".join(
+                            json.dumps(reply, sort_keys=True).encode("utf-8") + b"\n"
+                            for reply in replies
+                        )
+                    )
+                    await writer.drain()
+                if goodbye:
+                    break
+        except CrashError:
+            self._abort_crashed()
+            return
+        except ReproError:
+            # Another connection crashed the gateway mid-batch; this
+            # handler's socket is already aborted.  Fall through.
+            pass
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if source is not None and not self.crashed:
+                self.disconnect_source(source)
+            writer.close()
+
+    def _handle_hello(self, frame: Dict[str, Any]) -> Any:
+        source = frame.get("source")
+        stream = frame.get("stream")
+        proto = frame.get("proto")
+        if not isinstance(source, str) or not source:
+            return {"op": "error", "reason": "hello needs a source id"}, None
+        if proto != PROTOCOL_VERSION:
+            return (
+                {
+                    "op": "error",
+                    "reason": f"protocol {proto!r} unsupported (speak "
+                    f"{PROTOCOL_VERSION})",
+                },
+                None,
+            )
+        if stream != self.schema.name:
+            return (
+                {
+                    "op": "error",
+                    "reason": f"stream {stream!r} not served here "
+                    f"(serving {self.schema.name!r})",
+                },
+                None,
+            )
+        self.connect_source(source)
+        return (
+            {
+                "op": "hello_ok",
+                "stream": self.schema.name,
+                "proto": PROTOCOL_VERSION,
+                "recovered_frames": self.recovered_frames,
+            },
+            source,
+        )
+
+
+class GatewayHandle:
+    """A gateway event loop running in a daemon thread (sync callers).
+
+    The CLI's ``repro send``, the examples, and the soak tests are
+    synchronous; this wraps the asyncio transport so they can start a
+    gateway, read its bound port, and stop it without touching a loop.
+    """
+
+    def __init__(self, gateway: IngestGateway):
+        self.gateway = gateway
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> "GatewayHandle":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ReproError("gateway failed to start listening in time")
+        if self._error is not None:
+            raise ReproError(f"gateway failed to start: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.gateway.start())
+        except BaseException as exc:  # startup failure surfaces to start()
+            self._error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    def stop(self, seal: bool = True, timeout: float = 10.0) -> None:
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            if self._thread is not None:
+                self._thread.join(timeout)
+            return
+        future = asyncio.run_coroutine_threadsafe(self.gateway.stop(seal=seal), loop)
+        try:
+            future.result(timeout)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout)
+
+
+def serve_in_thread(gateway: IngestGateway) -> GatewayHandle:
+    """Start *gateway* in a background thread; returns the handle."""
+    return GatewayHandle(gateway).start()

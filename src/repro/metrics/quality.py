@@ -22,14 +22,23 @@ from repro.core.pattern import Match
 class QualityReport:
     """Recall / precision / F1 of a produced result set vs. ground truth."""
 
-    __slots__ = ("truth_size", "produced_size", "missed", "spurious", "shed")
+    __slots__ = (
+        "truth_size", "produced_size", "missed", "spurious", "shed", "quarantined",
+    )
 
-    def __init__(self, truth: Set[Tuple], produced: Set[Tuple], shed: int = 0):
+    def __init__(
+        self,
+        truth: Set[Tuple],
+        produced: Set[Tuple],
+        shed: int = 0,
+        quarantined: int = 0,
+    ):
         self.truth_size = len(truth)
         self.produced_size = len(produced)
         self.missed = len(truth - produced)
         self.spurious = len(produced - truth)
         self.shed = shed
+        self.quarantined = quarantined
 
     @property
     def recall(self) -> float:
@@ -57,26 +66,43 @@ class QualityReport:
 
     @property
     def degraded(self) -> bool:
-        """True when load shedding may account for missing results."""
-        return self.shed > 0
+        """True when deliberate input loss may account for missing results.
+
+        Covers both load shedding and admission quarantine: an event
+        rejected at a gateway's schema check never reached the engine,
+        so the matches it would have joined are missing for an
+        *accounted* reason, not a correctness bug.  Gateway-side
+        quarantine and engine-side ``ValidationPolicy.QUARANTINE``
+        count here identically (the parity the ingestion tests pin).
+        """
+        return self.shed > 0 or self.quarantined > 0
 
     def __repr__(self) -> str:
         shed = f", shed={self.shed}" if self.shed else ""
+        quarantined = f", quarantined={self.quarantined}" if self.quarantined else ""
         return (
             f"QualityReport(recall={self.recall:.3f}, precision={self.precision:.3f}, "
-            f"missed={self.missed}, spurious={self.spurious}{shed})"
+            f"missed={self.missed}, spurious={self.spurious}{shed}{quarantined})"
         )
 
 
 def compare(
-    truth: Iterable[Match], produced: Iterable[Match], shed: int = 0
+    truth: Iterable[Match],
+    produced: Iterable[Match],
+    shed: int = 0,
+    quarantined: int = 0,
 ) -> QualityReport:
     """Build a report from two match collections (any iterables)."""
     truth_keys = {m.key() for m in truth}
     produced_keys = {m.key() for m in produced}
-    return QualityReport(truth_keys, produced_keys, shed=shed)
+    return QualityReport(truth_keys, produced_keys, shed=shed, quarantined=quarantined)
 
 
-def compare_keys(truth: Set[Tuple], produced: Set[Tuple], shed: int = 0) -> QualityReport:
+def compare_keys(
+    truth: Set[Tuple],
+    produced: Set[Tuple],
+    shed: int = 0,
+    quarantined: int = 0,
+) -> QualityReport:
     """Build a report from pre-extracted identity-key sets."""
-    return QualityReport(set(truth), set(produced), shed=shed)
+    return QualityReport(set(truth), set(produced), shed=shed, quarantined=quarantined)

@@ -58,6 +58,35 @@ class FailureSchedule:
     def outages(self, node: str) -> List[Tuple[int, int]]:
         return list(self._outages.get(node, []))
 
+    def frame_outages(
+        self, deliveries: Sequence, source: str
+    ) -> List[Tuple[int, int]]:
+        """Map *source*'s outage windows onto its own frame sequence.
+
+        Each outage ``[start, end)`` becomes ``(lo, hi)``: *lo* is the
+        index (within *source*'s deliveries, in send order) of the
+        first frame sent at or after the outage start, *hi* the first
+        frame at or after recovery.  This is the per-source composition
+        the ingestion drills need — "source s1's connection dies at its
+        frame 120 and comes back at its frame 180" — whereas
+        :meth:`repro.netsim.simulator.SimulationResult.crash_indices`
+        expresses outages as *global* arrival positions and can only
+        script faults that hit the whole pipeline at once.  Windows no
+        frame falls into are dropped.
+        """
+        sent = sorted(
+            delivery.sent_at
+            for delivery in deliveries
+            if delivery.source == source
+        )
+        windows: List[Tuple[int, int]] = []
+        for start, end in self.outages(source):
+            lo = bisect.bisect_left(sent, start)
+            hi = bisect.bisect_left(sent, end)
+            if lo < hi:
+                windows.append((lo, hi))
+        return windows
+
     @classmethod
     def random_outages(
         cls,

@@ -50,12 +50,14 @@ PURGED = "purged"  #: evicted as provably useless at the safe horizon
 SHED = "shed"  #: evicted by load shedding (lossy, counted casualty)
 PUNCTUATION = "punctuation"  #: a punctuation advanced the clock
 REFROZEN = "refrozen"  #: an adaptive-K controller re-froze the bound at this boundary
+SOURCE_DEGRADED = "source_degraded"  #: an ingestion source fell silent past its liveness timeout
+SOURCE_RECOVERED = "source_recovered"  #: a degraded/disconnected source resumed sending
 
 STAGES = (
     ADMITTED, IGNORED, QUARANTINED, LATE_DROPPED, PROCESSED, BUFFERED,
     RELEASED, PREDICATE_REJECTED, MATCH_EMITTED, MATCH_PENDING,
     MATCH_CANCELLED, MATCH_REVOKED, MATCH_SPECULATED, MATCH_RETRACTED,
-    PURGED, SHED, PUNCTUATION, REFROZEN,
+    PURGED, SHED, PUNCTUATION, REFROZEN, SOURCE_DEGRADED, SOURCE_RECOVERED,
 )
 
 

@@ -78,3 +78,22 @@ def test_speculation_modules_are_clean_without_suppressions():
     for target in targets:
         text = Path(target).read_text()
         assert "repro: ignore" not in text
+
+
+def test_ingest_subtree_is_clean_without_suppressions():
+    """The ingestion gateway passes every rule with ZERO opt-outs.
+
+    Admission, liveness and the transport are deterministic admission
+    state (snapshot completeness and determinism rules apply in full),
+    and none of them sit on the engine hot path — the gateway *feeds*
+    engines, it does not run inside them — so purity exceptions would
+    be a design smell, not a necessity.
+    """
+    report = run_analysis([str(SRC / "ingest")])
+    assert report.parse_errors == []
+    assert report.findings == [], "\n" + "\n".join(
+        finding.render() for finding in report.findings
+    )
+    assert report.suppressed == 0
+    for path in (SRC / "ingest").glob("*.py"):
+        assert "repro: ignore" not in path.read_text()

@@ -180,3 +180,77 @@ class TestWrap:
             return [(e.etype, e.ts) for e in fault.wrap(events)]
 
         assert run() == run()
+
+
+class TestDuplicateAt:
+    def test_chosen_indices_are_delivered_twice(self):
+        events = [Event("A", ts, {}) for ts in range(1, 6)]
+        fault = FaultInjector(duplicate_at=[1, 3])
+        out = list(fault.wrap(events))
+        assert [e.ts for e in out] == [1, 2, 2, 3, 4, 4, 5]
+
+    def test_duplicate_copies_are_identical(self):
+        events = [Event("A", ts, {"v": ts}) for ts in range(1, 5)]
+        fault = FaultInjector(duplicate_at=[2])
+        out = list(fault.wrap(events))
+        assert out[2] == out[3] and out[2].eid == out[3].eid
+
+    def test_punctuation_is_never_duplicated(self):
+        elements = [Event("A", 1, {}), Punctuation(2), Event("A", 3, {})]
+        fault = FaultInjector(duplicate_at=[1])  # index lands on the punctuation
+        out = list(fault.wrap(elements))
+        assert len(out) == 3
+
+    def test_duplicate_after_clock_clamp_redelivers_the_clamped_copy(self):
+        # An at-least-once transport resends what it sent, so the duplicate
+        # must be the post-fault (clamped) event, not a fresh read.
+        events = [Event("A", 10, {}), Event("A", 20, {})]
+        fault = FaultInjector(stuck_clock_at=0, duplicate_at=[1])
+        out = list(fault.wrap(events))
+        assert [e.ts for e in out] == [10, 10, 10]
+        assert out[1].eid == out[2].eid
+
+
+class TestFromOutagesPerSource:
+    @staticmethod
+    def simulated():
+        from repro.netsim import ConstantLatency, FailureSchedule, simulate_star
+
+        streams = {
+            "s0": [Event("A", ts, {}) for ts in range(0, 100, 2)],
+            "s1": [Event("B", ts, {}) for ts in range(1, 100, 2)],
+        }
+        failures = FailureSchedule()
+        failures.add_outage("s0", 20, 40)
+        failures.add_outage("s1", 60, 70)
+        result = simulate_star(streams, lambda i: ConstantLatency(1), failures=failures)
+        return failures, result
+
+    def test_node_form_targets_one_sources_outages(self):
+        failures, result = self.simulated()
+        fault = FaultInjector.from_outages(
+            schedule=failures, result=result, node="s0"
+        )
+        expected = result.crash_indices(failures, "s0")
+        assert expected  # the drill is real
+        assert sorted(fault._crash_at) == expected
+
+    def test_node_form_differs_per_node(self):
+        failures, result = self.simulated()
+        for_s0 = FaultInjector.from_outages(schedule=failures, result=result, node="s0")
+        for_s1 = FaultInjector.from_outages(schedule=failures, result=result, node="s1")
+        assert for_s0._crash_at != for_s1._crash_at
+
+    def test_mixing_forms_is_rejected(self):
+        failures, result = self.simulated()
+        with pytest.raises(ReproError):
+            FaultInjector.from_outages([1, 2], schedule=failures)
+        with pytest.raises(ReproError):
+            FaultInjector.from_outages(schedule=failures, result=result)  # no node
+
+    def test_extra_faults_compose(self):
+        failures, result = self.simulated()
+        fault = FaultInjector.from_outages(
+            schedule=failures, result=result, node="s0", duplicate_at=[5]
+        )
+        assert 5 in fault.duplicate_at

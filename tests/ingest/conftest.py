@@ -1,0 +1,26 @@
+"""Shared fixtures for the ingestion-layer tests."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `from ingest_helpers import make_schema` work regardless of how
+# pytest set up sys.path for this subdirectory.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import parse  # noqa: E402
+
+from ingest_helpers import make_schema  # noqa: E402
+
+
+@pytest.fixture
+def schema():
+    return make_schema(slack=2)
+
+
+@pytest.fixture
+def ab_pattern():
+    return parse("PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 20")

@@ -1,0 +1,21 @@
+"""Shared builders for the ingestion-layer tests."""
+
+from __future__ import annotations
+
+from repro.ingest import EventSchema, FieldSpec, StreamSchema
+
+
+def make_schema(slack: int = 0, **kwargs) -> StreamSchema:
+    """A two-type stream (A/B with int fields ts, x) used across files."""
+    scope = kwargs.pop("ordering_scope", "per_source" if slack == 0 else "global")
+    return StreamSchema(
+        "orders",
+        t_event="ts",
+        events=[
+            EventSchema("A", [FieldSpec("ts", "int"), FieldSpec("x", "int")]),
+            EventSchema("B", [FieldSpec("ts", "int"), FieldSpec("x", "int")]),
+        ],
+        ordering_scope=scope,
+        source_slack=slack,
+        **kwargs,
+    )

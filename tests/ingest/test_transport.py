@@ -1,0 +1,265 @@
+"""Socket-level drills: oracle parity, scripted client faults, crash-anywhere.
+
+Everything here runs a real asyncio gateway in a background thread and
+drives it with the blocking client over TCP on the loopback interface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import OutOfOrderEngine, parse
+from repro.faultinject import FaultInjector
+from repro.ingest import (
+    ClientFaultPlan,
+    GatewayConfig,
+    IngestClient,
+    IngestGateway,
+    send_events,
+    serve_in_thread,
+)
+
+from ingest_helpers import make_schema
+
+
+QUERY = "PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 20"
+
+
+def build_gateway(directory=None, port=0, fault=None):
+    config = GatewayConfig(
+        make_schema(slack=2),
+        port=port,
+        liveness_timeout=30.0,  # no surprise degradations on a slow CI box
+    )
+    pattern = parse(QUERY)
+    return IngestGateway(
+        lambda: OutOfOrderEngine(pattern, k=4),
+        config,
+        directory=directory,
+        fault=fault,
+    )
+
+
+def frames_for(pairs: int):
+    frames = []
+    for i in range(pairs):
+        frames.append(("A", {"ts": 2 * i, "x": i % 3}))
+        frames.append(("B", {"ts": 2 * i + 1, "x": i % 3}))
+    return frames
+
+
+def inprocess_result_keys(frames, source="s1"):
+    """The uninterrupted baseline: same frames, no sockets, no faults."""
+    gateway = build_gateway()
+    for index, (etype, attrs) in enumerate(frames):
+        ack = gateway.admit_frame(source, etype, attrs, now=float(index))
+        assert ack["status"] == "admitted"
+    gateway.seal()
+    return {match.key() for match in gateway.results()}
+
+
+# -- clean path -------------------------------------------------------------------------
+
+
+def test_socket_roundtrip_equals_inprocess_run(tmp_path):
+    frames = frames_for(15)
+    gateway = build_gateway(tmp_path)
+    handle = serve_in_thread(gateway)
+    try:
+        report = send_events("127.0.0.1", handle.port, "s1", "orders", frames)
+    finally:
+        handle.stop(seal=True)
+    assert report.admitted == len(frames)
+    assert report.duplicates == report.quarantined == 0
+    assert {m.key() for m in gateway.results()} == inprocess_result_keys(frames)
+
+
+def test_two_sources_interleaved_lockstep(tmp_path):
+    """window=1 makes each send wait for its ack, so the interleaving —
+    and therefore the punctuation stream — is fully deterministic."""
+    frames = frames_for(10)
+    gateway = build_gateway(tmp_path)
+    handle = serve_in_thread(gateway)
+    try:
+        clients = [
+            IngestClient("127.0.0.1", handle.port, name, "orders", window=1)
+            for name in ("s1", "s2")
+        ]
+        for client in clients:
+            client.connect()
+        for etype, attrs in frames:
+            for client in clients:
+                client.send(etype, dict(attrs))
+        reports = [client.close() for client in clients]
+    finally:
+        handle.stop(seal=True)
+    assert all(r.admitted == len(frames) for r in reports)
+    assert gateway.admission.source_counts("s1").admitted == len(frames)
+    assert gateway.admission.source_counts("s2").admitted == len(frames)
+    # Dedupe is per-source: identical payloads from s1 and s2 both land.
+    baseline = inprocess_result_keys(frames)
+    assert {m.key() for m in gateway.results()} == baseline
+
+
+def test_quarantined_frame_is_acked_not_fatal(tmp_path):
+    gateway = build_gateway(tmp_path)
+    handle = serve_in_thread(gateway)
+    try:
+        client = IngestClient("127.0.0.1", handle.port, "s1", "orders")
+        client.connect()
+        client.send("A", {"ts": 1, "x": 7})
+        client.send("A", {"x": 7})  # missing t_event field
+        client.send("B", {"ts": 3, "x": 7})
+        report = client.close()
+    finally:
+        handle.stop(seal=True)
+    assert report.admitted == 2 and report.quarantined == 1
+    assert gateway.admission.quarantined == 1
+    assert len(gateway.results()) == 1
+
+
+def test_wrong_stream_is_refused_at_hello(tmp_path):
+    gateway = build_gateway(tmp_path)
+    handle = serve_in_thread(gateway)
+    try:
+        client = IngestClient(
+            "127.0.0.1", handle.port, "s1", "checkouts", timeout=2.0
+        )
+        from repro.core.errors import ReproError
+
+        with pytest.raises((ReproError, ConnectionError, OSError)):
+            client.connect()
+    finally:
+        handle.stop(seal=True)
+
+
+# -- scripted client faults --------------------------------------------------------------
+
+
+def test_lost_ack_and_duplicate_send_are_absorbed(tmp_path):
+    """torn_after_send loses acks (server admitted, client must resend);
+    duplicate_send double-transmits.  Admission absorbs both: the engine
+    sees every frame exactly once."""
+    frames = frames_for(10)
+    plan = ClientFaultPlan(torn_after_send=[3], duplicate_send=[7, 12])
+    gateway = build_gateway(tmp_path)
+    handle = serve_in_thread(gateway)
+    try:
+        report = send_events(
+            "127.0.0.1", handle.port, "s1", "orders", frames, fault_plan=plan
+        )
+    finally:
+        handle.stop(seal=True)
+    assert report.reconnects >= 1
+    assert report.resends >= 3  # the torn batch + two scripted duplicates
+    assert report.admitted + report.duplicates == len(frames)
+    # Server-side: every distinct frame admitted once, extras deduped.
+    assert gateway.admission.admitted == len(frames)
+    assert gateway.admission.duplicates >= 2
+    assert {m.key() for m in gateway.results()} == inprocess_result_keys(frames)
+
+
+def test_torn_before_send_is_a_clean_resend(tmp_path):
+    frames = frames_for(6)
+    plan = ClientFaultPlan(torn_before_send=[4])
+    gateway = build_gateway(tmp_path)
+    handle = serve_in_thread(gateway)
+    try:
+        report = send_events(
+            "127.0.0.1", handle.port, "s1", "orders", frames, fault_plan=plan
+        )
+    finally:
+        handle.stop(seal=True)
+    assert report.reconnects >= 1
+    assert report.admitted + report.duplicates == len(frames)
+    assert gateway.admission.admitted == len(frames)
+    assert {m.key() for m in gateway.results()} == inprocess_result_keys(frames)
+
+
+# -- crash-anywhere ---------------------------------------------------------------------
+
+
+def run_crash_scenario(tmp_path, crash_at, frames):
+    """Crash the gateway at WAL element *crash_at* mid-ingest, restart it
+    on the same port, and let the client ride through.  Returns (client
+    report, recovered gateway)."""
+    first = build_gateway(tmp_path, fault=FaultInjector(crash_at=[crash_at]))
+    handle = serve_in_thread(first)
+    port = handle.port
+    restarted = {}
+
+    def restart():
+        while not first.crashed:
+            time.sleep(0.005)
+        handle.stop(seal=False)
+        second = build_gateway(tmp_path, port=port)
+        restarted["gateway"] = second
+        restarted["handle"] = serve_in_thread(second)
+
+    watchdog = threading.Thread(target=restart, daemon=True)
+    watchdog.start()
+    try:
+        report = send_events("127.0.0.1", port, "s1", "orders", frames, window=4)
+    finally:
+        watchdog.join(timeout=10.0)
+        if "handle" in restarted:
+            restarted["handle"].stop(seal=True)
+        else:
+            handle.stop(seal=False)
+    assert not watchdog.is_alive(), "gateway never crashed — crash point unused"
+    return report, first, restarted["gateway"]
+
+
+@pytest.mark.parametrize("crash_at", [1, 4, 9, 17])
+def test_crash_anywhere_is_exactly_once(tmp_path, crash_at):
+    """The property the whole PR hangs on: wherever the crash lands, the
+    client's resends plus WAL replay yield exactly-once admission and a
+    sealed result set identical to the uninterrupted run."""
+    frames = frames_for(12)
+    report, crashed, recovered = run_crash_scenario(tmp_path, crash_at, frames)
+
+    # Client accounting: every frame resolved, by ack or by dedupe.
+    assert report.reconnects >= 1
+    assert report.admitted + report.duplicates == len(frames)
+    # Server accounting: WAL replay + post-recovery admissions cover each
+    # distinct frame exactly once (duplicates were absorbed, not fed).
+    assert recovered.recovered_frames + recovered.admission.admitted == len(frames)
+    # Delivery accounting: results() is per-incarnation (the delivery log
+    # suppresses replayed matches a predecessor already delivered), so the
+    # exactly-once statement is about the union: across both incarnations
+    # every match of the uninterrupted run is delivered once, none twice.
+    before = {m.key() for m in crashed.results()}
+    after = {m.key() for m in recovered.results()}
+    assert before & after == set()
+    assert before | after == inprocess_result_keys(frames)
+
+
+def test_recovered_gateway_reports_replay_in_hello(tmp_path):
+    frames = frames_for(4)
+    gateway = build_gateway(tmp_path)
+    handle = serve_in_thread(gateway)
+    try:
+        send_events("127.0.0.1", handle.port, "s1", "orders", frames)
+    finally:
+        handle.stop(seal=False)  # stop without sealing: a restart, not a shutdown
+
+    second = build_gateway(tmp_path)
+    handle2 = serve_in_thread(second)
+    try:
+        client = IngestClient("127.0.0.1", handle2.port, "s1", "orders")
+        client.connect()
+        assert client.server_recovered_frames == len(frames)
+        # Redelivering the whole trace is harmless.
+        for etype, attrs in frames:
+            client.send(etype, dict(attrs))
+        report = client.close()
+    finally:
+        handle2.stop(seal=True)
+    assert report.duplicates == len(frames) and report.admitted == 0
+    # The first incarnation already delivered every match; the delivery
+    # log keeps the restart from delivering any of them again.
+    assert second.results() == []
+    assert {m.key() for m in gateway.results()} == inprocess_result_keys(frames)

@@ -82,3 +82,44 @@ class TestRandomOutages:
             FailureSchedule.random_outages(["a"], 100, 1.5, 10)
         with pytest.raises(ConfigurationError):
             FailureSchedule.random_outages(["a"], 100, 0.1, 0)
+
+
+class TestFrameOutages:
+    """Outage windows composed onto one source's own frame sequence."""
+
+    @staticmethod
+    def deliveries():
+        from repro import Event
+        from repro.netsim import Delivery
+
+        rows = []
+        for source, sent_times in (("s1", [0, 5, 12, 18, 25]), ("s2", [2, 9, 22])):
+            for ts in sent_times:
+                rows.append(Delivery(Event("A", ts, {}), ts, ts + 1, source))
+        return rows
+
+    def test_outage_maps_to_frame_index_window(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("s1", 4, 20)
+        # s1's frames sent at 5, 12, 18 fall inside [4, 20): indices 1..4.
+        assert schedule.frame_outages(self.deliveries(), "s1") == [(1, 4)]
+
+    def test_other_sources_frames_do_not_count(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("s2", 4, 20)
+        # Only s2's own sends (at 9) land in the window, at its index 1.
+        assert schedule.frame_outages(self.deliveries(), "s2") == [(1, 2)]
+
+    def test_window_covering_no_frames_is_dropped(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("s1", 13, 17)  # between sends 12 and 18
+        assert schedule.frame_outages(self.deliveries(), "s1") == []
+
+    def test_multiple_windows_stay_ordered(self):
+        schedule = FailureSchedule()
+        schedule.add_outage("s1", 0, 6)
+        schedule.add_outage("s1", 17, 30)
+        assert schedule.frame_outages(self.deliveries(), "s1") == [(0, 2), (3, 5)]
+
+    def test_source_without_outages_is_empty(self):
+        assert FailureSchedule().frame_outages(self.deliveries(), "s1") == []
