@@ -3,9 +3,11 @@
 The paper's correctness claims (out-of-order results observably
 identical to in-order ones; purge never drops live state) plus the
 repo's operational contracts (snapshot/restore round-trips, exactly-
-once replay) are enforced mechanically by five rules over the parsed
-source tree.  See ``docs/analysis.md`` for the rule catalogue and
-suppression syntax.
+once replay) are enforced mechanically by nine rules over the parsed
+source tree — per-class pattern rules (R001–R005) plus flow-sensitive
+async rules (R006–R009) built on the CFG/def-use layer in
+:mod:`repro.analysis.dataflow`.  See ``docs/analysis.md`` for the rule
+catalogue and suppression syntax.
 
 Programmatic entry point::
 
@@ -24,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import (
+    DeadSuppression,
     Finding,
     Severity,
     render_json,
@@ -34,6 +37,7 @@ from repro.analysis.rules import Rule, all_rules
 
 __all__ = [
     "AnalysisReport",
+    "DeadSuppression",
     "Finding",
     "Severity",
     "Rule",
@@ -53,16 +57,33 @@ class AnalysisReport:
     checked_files: int
     suppressed: int
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: suppression comments (path, comment line, rule) that silenced
+    #: nothing this run — warnings, not failures.
+    dead_suppressions: List[DeadSuppression] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """True when nothing failed: no findings, no unparsable files."""
+        """True when nothing failed: no findings, no unparsable files.
+
+        Dead suppressions are warnings and do not flip this — the
+        burn-down is enforced separately by the tree-clean test.
+        """
         return not self.findings and not self.parse_errors
 
     def render(self, fmt: str = "text") -> str:
         if fmt == "json":
-            return render_json(self.findings, self.checked_files, self.suppressed)
-        return render_text(self.findings, self.checked_files, self.suppressed)
+            return render_json(
+                self.findings,
+                self.checked_files,
+                self.suppressed,
+                self.dead_suppressions,
+            )
+        return render_text(
+            self.findings,
+            self.checked_files,
+            self.suppressed,
+            self.dead_suppressions,
+        )
 
 
 def run_analysis(
@@ -72,11 +93,14 @@ def run_analysis(
     """Run *rules* (default: all registered) over the tree at *paths*."""
     project = build_project(paths)
     active = list(rules) if rules is not None else all_rules()
+    active_ids = {rule.rule_id for rule in active}
     module_by_path: Dict[str, object] = {
         module.path: module for module in project.modules
     }
     kept: List[Finding] = []
     suppressed = 0
+    #: (path, comment line, rule) credited with at least one finding.
+    used: set = set()
     raw = sorted(
         {finding for rule in active for finding in rule.check(project)}
     )
@@ -84,11 +108,24 @@ def run_analysis(
         module = module_by_path.get(finding.path)
         if module is not None and module.is_suppressed(finding.line, finding.rule):  # type: ignore[attr-defined]
             suppressed += 1
+            for decl_line in module.matching_decl_lines(  # type: ignore[attr-defined]
+                finding.line, finding.rule
+            ):
+                used.add((finding.path, decl_line, finding.rule))
         else:
             kept.append(finding)
+    dead: List[DeadSuppression] = []
+    for module in project.modules:
+        for decl in module.suppress_decls:
+            for rule_id in sorted(decl.rules):
+                if rule_id not in active_ids:
+                    continue  # only judge rules that actually ran
+                if (module.path, decl.line, rule_id) not in used:
+                    dead.append((module.path, decl.line, rule_id))
     return AnalysisReport(
         findings=kept,
         checked_files=len(project.modules),
         suppressed=suppressed,
         parse_errors=list(project.parse_errors),
+        dead_suppressions=sorted(dead),
     )

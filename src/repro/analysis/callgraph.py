@@ -60,9 +60,18 @@ def _classes_declaring_attr(
 
 
 def resolve_call_targets(
-    project: Project, fn: FunctionInfo
+    project: Project,
+    fn: FunctionInfo,
+    include_name_refs: bool = True,
 ) -> List[Tuple[FunctionInfo, int]]:
-    """Every analyzed function *fn* may call, with the call line."""
+    """Every analyzed function *fn* may call, with the call line.
+
+    ``include_name_refs=False`` drops the callback-pattern edges (bare
+    function names passed as arguments).  Async-context propagation uses
+    that: a callable *handed to* ``run_in_executor``/``Thread(target=)``
+    runs off the event loop, so treating argument references as calls
+    would wrongly mark executor-dispatched helpers async-reachable.
+    """
     targets: List[Tuple[FunctionInfo, int]] = []
     owner = _owning_class(project, fn)
     for call in fn.calls:
@@ -95,10 +104,11 @@ def resolve_call_targets(
                     targets.append((init, call.line))
     # Callback pattern: a bare function name passed as an argument may be
     # invoked downstream; treat it as an edge.
-    for name in fn.name_refs:
-        local = fn.module.functions.get(name)
-        if local is not None:
-            targets.append((local, fn.line))
+    if include_name_refs:
+        for name in fn.name_refs:
+            local = fn.module.functions.get(name)
+            if local is not None:
+                targets.append((local, fn.line))
     return targets
 
 
@@ -114,7 +124,12 @@ def _owning_class(project: Project, fn: FunctionInfo) -> Optional[ClassInfo]:
 class Reachability:
     """BFS closure from a set of root functions, with call chains."""
 
-    def __init__(self, project: Project, roots: Iterable[FunctionInfo]):
+    def __init__(
+        self,
+        project: Project,
+        roots: Iterable[FunctionInfo],
+        include_name_refs: bool = True,
+    ):
         self.project = project
         #: qualname -> (function, predecessor qualname or None, call line)
         self.visited: Dict[str, Tuple[FunctionInfo, Optional[str], int]] = {}
@@ -125,7 +140,9 @@ class Reachability:
                 frontier.append(root)
         while frontier:
             fn = frontier.pop(0)
-            for target, line in resolve_call_targets(project, fn):
+            for target, line in resolve_call_targets(
+                project, fn, include_name_refs=include_name_refs
+            ):
                 if target.qualname in self.visited:
                     continue
                 self.visited[target.qualname] = (target, fn.qualname, line)
@@ -152,3 +169,27 @@ class Reachability:
         if len(chain) <= 1:
             return chain[0] if chain else qualname
         return f"{chain[-1]} (reached from {chain[0]} via {len(chain) - 1} calls)"
+
+
+def coroutine_roots(project: Project) -> List[FunctionInfo]:
+    """Every ``async def`` in the project — module functions and methods."""
+    roots: List[FunctionInfo] = []
+    for module in project.modules:
+        roots.extend(fn for fn in module.functions.values() if fn.is_async)
+        for cls in module.classes.values():
+            roots.extend(fn for fn in cls.methods.values() if fn.is_async)
+    return roots
+
+
+def async_reachability(project: Project) -> Reachability:
+    """Functions that may run on an event loop: the async-context closure.
+
+    A function is *async-reachable* when a coroutine transitively calls
+    it — whether with ``await`` or as a plain synchronous call — because
+    either way its body executes on the loop thread and anything
+    blocking in it stalls every other task.  Propagation deliberately
+    excludes callback-argument edges (``include_name_refs=False``):
+    a callable handed to ``run_in_executor`` / ``Thread(target=...)``
+    is the sanctioned escape hatch and runs off the loop.
+    """
+    return Reachability(project, coroutine_roots(project), include_name_refs=False)

@@ -11,7 +11,10 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A suppression comment that silenced nothing: ``(path, line, rule)``.
+DeadSuppression = Tuple[str, int, str]
 
 
 class Severity(enum.Enum):
@@ -32,7 +35,7 @@ class Finding:
     line:
         1-indexed line the finding anchors to.
     rule:
-        Rule identifier (``R001`` … ``R005``).
+        Rule identifier (``R001`` … ``R009``).
     symbol:
         Dotted name of the offending symbol (``Class.attr`` or
         ``Class.method``) — what a reader greps for.
@@ -67,24 +70,53 @@ class Finding:
         )
 
 
-def render_text(findings: List[Finding], checked: int, suppressed: int) -> str:
-    """Human-readable report (the committed baseline uses this format)."""
+def render_text(
+    findings: List[Finding],
+    checked: int,
+    suppressed: int,
+    dead: Optional[Sequence[DeadSuppression]] = None,
+) -> str:
+    """Human-readable report (the committed baseline uses this format).
+
+    Dead suppressions render as warning lines above the summary: they
+    never fail the run, but leaving them in-tree means a future real
+    finding at that site would be silently masked.
+    """
     lines = [finding.render() for finding in sorted(findings)]
+    for path, line, rule in sorted(dead or ()):
+        lines.append(
+            f"{path}:{line}: {rule} [warning] suppression matches no "
+            f"finding — dead comment, remove it"
+        )
     noun = "finding" if len(findings) == 1 else "findings"
-    lines.append(
+    summary = (
         f"{len(findings)} {noun} ({suppressed} suppressed) "
         f"in {checked} files"
     )
+    if dead:
+        summary += f", {len(dead)} dead suppression" + (
+            "s" if len(dead) != 1 else ""
+        )
+    lines.append(summary)
     return "\n".join(lines)
 
 
-def render_json(findings: List[Finding], checked: int, suppressed: int) -> str:
+def render_json(
+    findings: List[Finding],
+    checked: int,
+    suppressed: int,
+    dead: Optional[Sequence[DeadSuppression]] = None,
+) -> str:
     """Machine-readable report for the CI gate."""
     return json.dumps(
         {
             "version": 1,
             "checked_files": checked,
             "suppressed": suppressed,
+            "dead_suppressions": [
+                {"path": path, "line": line, "rule": rule}
+                for path, line, rule in sorted(dead or ())
+            ],
             "findings": [finding.as_dict() for finding in sorted(findings)],
         },
         indent=2,

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.suppressions import SuppressionDecl, parse_suppressions
 
 #: Method names treated as mutating their receiver.  Generic container
 #: vocabulary plus this codebase's stateful-component verbs (the stream
@@ -84,6 +84,10 @@ class CallSite:
       known; ``target`` is ``m``, ``receiver_type`` the class name.
     * ``"dotted"`` — ``mod.path.fn(...)``; ``dotted`` carries the full
       dotted string for forbidden-call matching.
+    * ``"expr_method"`` — ``<expr>.m(...)`` on a receiver too complex to
+      resolve (``(self.dir / NAME).open(...)``); ``target`` is ``m``.
+      Contributes no call-graph edge, but method-vocabulary rules
+      (blocking I/O, file verbs) still match on the name.
     """
 
     kind: str
@@ -113,6 +117,8 @@ class FunctionInfo:
     #: bare-name references passed as arguments (callback pattern).
     name_refs: Set[str] = field(default_factory=set)
     is_stub: bool = False
+    #: True for ``async def`` — the roots of async-context propagation.
+    is_async: bool = False
 
     @property
     def line(self) -> int:
@@ -154,10 +160,13 @@ class ModuleInfo:
     imports: Dict[str, str] = field(default_factory=dict)
     suppress_lines: Dict[int, Set[str]] = field(default_factory=dict)
     suppress_file: Set[str] = field(default_factory=set)
-    #: (first line, last line, rules) ranges from header comments.
-    suppress_ranges: List[Tuple[int, int, Set[str]]] = field(
+    #: (first line, last line, rules, declaring comment line) ranges
+    #: derived from ``def``/``class`` header comments.
+    suppress_ranges: List[Tuple[int, int, Set[str], int]] = field(
         default_factory=list
     )
+    #: every suppression comment as written, for the burn-down pass.
+    suppress_decls: List[SuppressionDecl] = field(default_factory=list)
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         if rule in self.suppress_file:
@@ -166,8 +175,25 @@ class ModuleInfo:
             return True
         return any(
             lo <= line <= hi and rule in rules
-            for lo, hi, rules in self.suppress_ranges
+            for lo, hi, rules, _decl in self.suppress_ranges
         )
+
+    def matching_decl_lines(self, line: int, rule: str) -> List[int]:
+        """Comment lines of every declaration suppressing (*line*, *rule*).
+
+        Feeds the dead-suppression burn-down: each returned comment line
+        is credited with one real finding.
+        """
+        lines: List[int] = []
+        for decl in self.suppress_decls:
+            if rule not in decl.rules:
+                continue
+            if decl.scope == "file" or decl.line == line:
+                lines.append(decl.line)
+        for lo, hi, rules, decl_line in self.suppress_ranges:
+            if lo <= line <= hi and rule in rules and decl_line not in lines:
+                lines.append(decl_line)
+        return lines
 
 
 @dataclass
@@ -436,6 +462,11 @@ class _FunctionScanner(ast.NodeVisitor):
             return
         root, path = _root_and_path(func)
         if root is None or not path:
+            # Method call on an unresolvable receiver expression, e.g.
+            # ``(self.directory / NAME).open(...)``.  No call-graph edge,
+            # but the method name still matters to vocabulary rules.
+            if isinstance(func, ast.Attribute):
+                self.info.calls.append(CallSite("expr_method", func.attr, line))
             return
         method = path[-1]
         if root == "self" and len(path) == 1:
@@ -542,6 +573,7 @@ def _scan_function(
         node=node,
         class_name=class_info.name if class_info else None,
         is_stub=_is_stub(node),
+        is_async=isinstance(node, ast.AsyncFunctionDef),
     )
     scanner = _FunctionScanner(info)
     for stmt in node.body:  # type: ignore[attr-defined]
@@ -619,9 +651,10 @@ def parse_module(path: Path, source: str) -> ModuleInfo:
     tree = ast.parse(source, filename=str(path))
     module = ModuleInfo(path=str(path), modname=_module_name(path), tree=tree)
     module.imports = _collect_imports(tree)
-    per_line, per_file = parse_suppressions(source)
+    per_line, per_file, decls = parse_suppressions(source)
     module.suppress_lines = per_line
     module.suppress_file = per_file
+    module.suppress_decls = decls
     for node in tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             info = _scan_function(node, module, None)
@@ -651,12 +684,11 @@ def _collect_symbol_suppressions(module: ModuleInfo) -> None:
             nodes.append(node)
     for node in nodes:
         header_end = node.body[0].lineno - 1 if node.body else node.lineno
-        rules: Set[str] = set()
         for line in range(node.lineno, max(header_end, node.lineno) + 1):
-            rules |= module.suppress_lines.get(line, set())
-        if rules:
-            end = getattr(node, "end_lineno", None) or node.lineno
-            module.suppress_ranges.append((node.lineno, end, rules))
+            rules = module.suppress_lines.get(line, set())
+            if rules:
+                end = getattr(node, "end_lineno", None) or node.lineno
+                module.suppress_ranges.append((node.lineno, end, set(rules), line))
 
 
 def iter_python_files(paths: Sequence[str]) -> List[Path]:

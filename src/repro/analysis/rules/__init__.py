@@ -39,6 +39,10 @@ def all_rules() -> List[Rule]:
     from repro.analysis.rules.determinism import Determinism
     from repro.analysis.rules.batch_parity import BatchParity
     from repro.analysis.rules.purge_safety import PurgeSafety
+    from repro.analysis.rules.await_atomicity import AwaitAtomicity
+    from repro.analysis.rules.blocking_async import BlockingInCoroutine
+    from repro.analysis.rules.task_hygiene import TaskHygiene
+    from repro.analysis.rules.snapshot_dataflow import SnapshotDataflow
 
     rules: List[Rule] = [
         SnapshotCompleteness(),
@@ -46,5 +50,9 @@ def all_rules() -> List[Rule]:
         Determinism(),
         BatchParity(),
         PurgeSafety(),
+        AwaitAtomicity(),
+        BlockingInCoroutine(),
+        TaskHygiene(),
+        SnapshotDataflow(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

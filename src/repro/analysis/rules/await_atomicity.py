@@ -1,0 +1,73 @@
+"""R006 — await-atomicity of shared instance state.
+
+A single event loop gives every coroutine atomicity *between* awaits
+and none across them.  The gateway's admission ladder, liveness table
+and watermark merge all follow the same shape — read shared instance
+state, decide, write it back — and that shape is only correct while no
+``await`` sits between the read and the write.  The moment one does,
+another connection's coroutine can interleave, and the write commits a
+decision based on a world that no longer exists: a lost epoch bump, a
+resurrection of a fenced source, a watermark regressing.
+
+The rule runs :func:`repro.analysis.dataflow.stale_attr_writes` — a
+CFG fixpoint — over every ``async def`` method and reports each write
+or in-place mutation of a ``self`` attribute whose value basis (the
+last read of that attribute on some path) precedes an await the
+coroutine may suspend at.  Two idioms are recognised as safe and
+terminate the window:
+
+* **re-validation** — reading the attribute again after the await
+  refreshes the basis (the generation/epoch-check pattern);
+* **lock regions** — a read and all awaits up to the write inside one
+  ``async with <...lock/mutex/semaphore...>`` block.
+
+Writes complete before any await (classic RMW) never fire: the write
+itself closes the window.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.dataflow import stale_attr_writes
+from repro.analysis.findings import Finding
+from repro.analysis.model import FunctionInfo, Project
+from repro.analysis.rules import Rule
+
+
+class AwaitAtomicity(Rule):
+    rule_id = "R006"
+    summary = (
+        "a read-modify-write of shared instance state must not span an "
+        "await without a lock or re-validation"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            methods: List[FunctionInfo] = []
+            for cls in module.classes.values():
+                methods.extend(cls.methods.values())
+            for fn in methods:
+                if not fn.is_async or fn.is_stub:
+                    continue
+                reported: Set[Tuple[str, int]] = set()
+                for stale in stale_attr_writes(fn.node):
+                    key = (stale.attr, stale.write_line)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield Finding(
+                        path=module.path,
+                        line=stale.write_line,
+                        rule=self.rule_id,
+                        symbol=fn.qualname,
+                        message=(
+                            f"write to 'self.{stale.attr}' uses a value read "
+                            f"on line {stale.read_line}, but the coroutine "
+                            f"may suspend at the await on line "
+                            f"{stale.await_line} in between — a concurrent "
+                            f"task can change '{stale.attr}' and this write "
+                            f"clobbers it (hold a lock across the section or "
+                            f"re-read after awaiting)"
+                        ),
+                    )

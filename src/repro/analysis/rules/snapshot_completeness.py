@@ -57,6 +57,58 @@ def _component_is_snapshotable(project: Project, type_name: str) -> bool:
     return False
 
 
+def _note(
+    mutable: Dict[str, Tuple[ClassInfo, int]],
+    project: Project,
+    klass: ClassInfo,
+    attr: str,
+    line: int,
+) -> None:
+    # Anchor at the declaring assignment (usually __init__) of the
+    # nearest MRO class that assigns the attr; fall back to the
+    # mutation site for attrs never directly assigned.
+    for candidate in project.mro(klass):
+        if attr in candidate.assigned_attrs:
+            mutable.setdefault(attr, (candidate, candidate.assigned_attrs[attr]))
+            return
+    mutable.setdefault(attr, (klass, line))
+
+
+def participates_in_round_trip(project: Project, cls: ClassInfo) -> bool:
+    """True when *cls* has concrete snapshot **and** restore sides."""
+    return _has_concrete(project, cls, SNAPSHOT_METHODS) and _has_concrete(
+        project, cls, RESTORE_METHODS
+    )
+
+
+def collect_mutable_attrs(
+    project: Project, cls: ClassInfo
+) -> Dict[str, Tuple[ClassInfo, int]]:
+    """Mutable round-trip state of *cls*: attr -> (declaring class, line).
+
+    Shared between R001 (name-level completeness) and R009 (def-use
+    round-trip): attributes rebound or mutated outside construction/
+    snapshot/restore contexts anywhere in the MRO, plus component attrs
+    built in ``__init__`` from snapshot-capable classes.
+    """
+    mutable: Dict[str, Tuple[ClassInfo, int]] = {}
+    for klass in project.mro(cls):
+        for method in klass.methods.values():
+            if method.name in _EXEMPT_METHODS:
+                continue
+            for attr, line in method.self_writes.items():
+                _note(mutable, project, klass, attr, line)
+            for attr, line in method.self_mutations.items():
+                _note(mutable, project, klass, attr, line)
+        # Components built in __init__ from snapshot-capable classes
+        # hold state even when never textually mutated here.
+        for attr, type_name in klass.attr_types.items():
+            if _component_is_snapshotable(project, type_name):
+                line = klass.assigned_attrs.get(attr, klass.line)
+                mutable.setdefault(attr, (klass, line))
+    return mutable
+
+
 class SnapshotCompleteness(Rule):
     rule_id = "R001"
     summary = (
@@ -77,12 +129,10 @@ class SnapshotCompleteness(Rule):
         cls: ClassInfo,
         emitted: Set[Tuple[str, int, str, str]],
     ) -> Iterator[Finding]:
-        if not _has_concrete(project, cls, SNAPSHOT_METHODS):
-            return
-        if not _has_concrete(project, cls, RESTORE_METHODS):
+        if not participates_in_round_trip(project, cls):
             return
 
-        mutable: Dict[str, Tuple[ClassInfo, int]] = {}
+        mutable = collect_mutable_attrs(project, cls)
         captured: Set[str] = set()
         restored: Set[str] = set()
         for klass in project.mro(cls):
@@ -93,18 +143,6 @@ class SnapshotCompleteness(Rule):
                     restored |= set(method.self_reads)
                     restored |= set(method.self_writes)
                     restored |= set(method.self_mutations)
-                if method.name in _EXEMPT_METHODS:
-                    continue
-                for attr, line in method.self_writes.items():
-                    self._note(mutable, project, klass, attr, line)
-                for attr, line in method.self_mutations.items():
-                    self._note(mutable, project, klass, attr, line)
-            # Components built in __init__ from snapshot-capable classes
-            # hold state even when never textually mutated here.
-            for attr, type_name in klass.attr_types.items():
-                if _component_is_snapshotable(project, type_name):
-                    line = klass.assigned_attrs.get(attr, klass.line)
-                    mutable.setdefault(attr, (klass, line))
 
         for attr in sorted(mutable):
             owner, line = mutable[attr]
@@ -132,22 +170,3 @@ class SnapshotCompleteness(Rule):
             if key not in emitted:
                 emitted.add(key)
                 yield finding
-
-    @staticmethod
-    def _note(
-        mutable: Dict[str, Tuple[ClassInfo, int]],
-        project: Project,
-        klass: ClassInfo,
-        attr: str,
-        line: int,
-    ) -> None:
-        # Anchor at the declaring assignment (usually __init__) of the
-        # nearest MRO class that assigns the attr; fall back to the
-        # mutation site for attrs never directly assigned.
-        for candidate in project.mro(klass):
-            if attr in candidate.assigned_attrs:
-                mutable.setdefault(
-                    attr, (candidate, candidate.assigned_attrs[attr])
-                )
-                return
-        mutable.setdefault(attr, (klass, line))

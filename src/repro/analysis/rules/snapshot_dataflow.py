@@ -1,0 +1,174 @@
+"""R009 — snapshot round-trip dataflow.
+
+R001 checks the snapshot/restore contract by *name*: every mutable
+attribute must be mentioned by a snapshot method and a restore method.
+Names are necessary but not sufficient — a snapshot method can read
+``self._pending`` into a local that never reaches the returned dict,
+and a restore method can mention ``self._cursor`` only to reset it to a
+constant.  Both pass R001 and both silently lose state across a
+crash-recovery round trip, which is precisely the divergence the
+paper's exactly-once replay argument forbids.
+
+R009 upgrades the check to def-use, via
+:mod:`repro.analysis.dataflow`:
+
+* **capture flow** — for every snapshot-side method, the backward
+  closure from its return expressions (and its non-``self`` output
+  parameters) over local assignments and accumulator calls
+  (``state.update(...)``, ``out["k"] = ...``).  A mutable attribute
+  that is *read* by a snapshot method but whose value never flows into
+  that closure is read-and-dropped.
+* **restore derivation** — for every restore-side method, the forward
+  closure from its parameters over local binds (assignments, loop and
+  ``with`` targets).  An attribute the method writes or mutates without
+  any derived data involved — ``self._cursor = 0`` — is reset, not
+  restored.  Rebuild idioms stay clean: ``self._index = {}`` followed
+  by a loop inserting ``state["items"]`` derives the attribute on the
+  second statement.  Component hand-offs
+  (``self.clock.restore_state(state["clock"])``) derive the component
+  attribute.
+
+Only attributes R001 already considers mutable round-trip state are
+examined, and attributes R001 itself reports (never mentioned at all)
+are skipped — each gap is reported exactly once, at its strongest rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.analysis.dataflow import (
+    RestoreSummary,
+    attr_reads_reaching_return,
+    restore_derivations,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.model import (
+    RESTORE_METHODS,
+    SNAPSHOT_METHODS,
+    ClassInfo,
+    FunctionInfo,
+    Project,
+)
+from repro.analysis.rules import Rule
+from repro.analysis.rules.snapshot_completeness import (
+    collect_mutable_attrs,
+    participates_in_round_trip,
+)
+
+
+class SnapshotDataflow(Rule):
+    rule_id = "R009"
+    summary = (
+        "snapshot reads must flow into the returned state and restore "
+        "writes must derive from it (def-use upgrade of R001)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        emitted: Set[Tuple[str, int, str, str]] = set()
+        for module in project.modules:
+            for cls in module.classes.values():
+                for finding in self._check_class(project, cls):
+                    key = (
+                        finding.path,
+                        finding.line,
+                        finding.symbol,
+                        finding.message,
+                    )
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield finding
+
+    def _check_class(
+        self, project: Project, cls: ClassInfo
+    ) -> Iterator[Finding]:
+        if not participates_in_round_trip(project, cls):
+            return
+        mutable = collect_mutable_attrs(project, cls)
+
+        snapshot_fns: list[FunctionInfo] = []
+        restore_fns: list[FunctionInfo] = []
+        for klass in project.mro(cls):
+            for method in klass.methods.values():
+                if method.is_stub:
+                    continue
+                if method.name in SNAPSHOT_METHODS:
+                    snapshot_fns.append(method)
+                elif method.name in RESTORE_METHODS:
+                    restore_fns.append(method)
+
+        yield from self._capture_findings(mutable, snapshot_fns)
+        yield from self._restore_findings(mutable, restore_fns)
+
+    def _capture_findings(
+        self,
+        mutable: Dict[str, Tuple[ClassInfo, int]],
+        snapshot_fns: list[FunctionInfo],
+    ) -> Iterator[Finding]:
+        captured_by_name: Set[str] = set()
+        flowing: Set[str] = set()
+        for fn in snapshot_fns:
+            captured_by_name |= set(fn.self_reads)
+            flowing |= set(attr_reads_reaching_return(fn.node))
+        for attr in sorted(mutable):
+            if attr.startswith("__"):
+                continue
+            if attr not in captured_by_name:
+                continue  # never mentioned: that is R001's finding
+            if attr in flowing:
+                continue
+            fn, line = self._read_site(snapshot_fns, attr)
+            if fn is None:
+                continue
+            yield Finding(
+                path=fn.module.path,
+                line=line,
+                rule=self.rule_id,
+                symbol=fn.qualname,
+                message=(
+                    f"snapshot method reads 'self.{attr}' but the value "
+                    f"never flows into the returned snapshot state — the "
+                    f"read is dropped and restore cannot recover '{attr}'"
+                ),
+            )
+
+    @staticmethod
+    def _read_site(
+        snapshot_fns: list[FunctionInfo], attr: str
+    ) -> Tuple[FunctionInfo, int] | Tuple[None, int]:
+        for fn in snapshot_fns:
+            if attr in fn.self_reads:
+                return fn, fn.self_reads[attr]
+        return None, 0
+
+    def _restore_findings(
+        self,
+        mutable: Dict[str, Tuple[ClassInfo, int]],
+        restore_fns: list[FunctionInfo],
+    ) -> Iterator[Finding]:
+        # Union across the restore side: one MRO method may reset an
+        # attribute another one rebuilds from state (split-restore).
+        touched: Dict[str, Tuple[FunctionInfo, int]] = {}
+        derived: Set[str] = set()
+        for fn in restore_fns:
+            summary: RestoreSummary = restore_derivations(fn.node)
+            derived |= summary.derived
+            for attr, line in summary.touched.items():
+                touched.setdefault(attr, (fn, line))
+        for attr in sorted(touched):
+            if attr.startswith("__") or attr not in mutable:
+                continue
+            if attr in derived:
+                continue
+            fn, line = touched[attr]
+            yield Finding(
+                path=fn.module.path,
+                line=line,
+                rule=self.rule_id,
+                symbol=fn.qualname,
+                message=(
+                    f"restore method assigns 'self.{attr}' without "
+                    f"deriving it from the snapshot state — the round "
+                    f"trip resets '{attr}' instead of restoring it"
+                ),
+            )

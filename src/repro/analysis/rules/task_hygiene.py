@@ -1,0 +1,175 @@
+"""R008 — task and resource hygiene in asyncio code.
+
+Two leak shapes that testing rarely catches:
+
+* **Fire-and-forget tasks.**  ``loop.create_task(coro())`` as a bare
+  expression statement discards the only handle to the task.  CPython
+  keeps only a weak reference to running tasks, so the task can be
+  garbage-collected mid-flight, its exceptions vanish into the
+  "exception was never retrieved" void, and shutdown cannot cancel or
+  drain it — the gateway's liveness tick kept running after ``stop()``
+  for exactly this reason.  Retain the handle, and cancel-and-await it
+  on shutdown.
+* **Half-closed stream writers.**  ``StreamWriter.close()`` only
+  *schedules* the close; without ``await writer.wait_closed()`` the
+  transport and its buffers linger, and on process exit the loop warns
+  about unclosed transports after the test that leaked them has already
+  passed.
+
+Detection is intra-function and syntactic.  A writer receiver is
+recognised by annotation (``asyncio.StreamWriter``) or by the exact
+conventional name ``writer`` (loop variables over writer sets); a
+``close()`` on one is a finding unless the same function also awaits
+``wait_closed()`` on the same receiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import FunctionInfo, Project, _root_and_path
+from repro.analysis.rules import Rule
+
+_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _receiver_key(expr: ast.AST) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    root, path = _root_and_path(expr)
+    if root is None:
+        return None
+    return root, tuple(path)
+
+
+def _is_writer_key(
+    key: Tuple[str, Tuple[str, ...]], annotated: Set[str]
+) -> bool:
+    # Annotation is the reliable signal; the name fallback is the exact
+    # conventional local ``writer`` (loop variables over writer sets).
+    # Substring matching would swallow unrelated objects that happen to
+    # be called ``*_writer`` (journal writers, CSV writers).
+    root, path = key
+    final = path[-1] if path else root
+    return final in annotated or final == "writer"
+
+
+def _annotated_writers(fn_node: ast.AST) -> Set[str]:
+    """Names annotated ``StreamWriter`` anywhere in the function."""
+    names: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if arg.annotation is not None and _mentions_stream_writer(
+                    arg.annotation
+                ):
+                    names.add(arg.arg)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _mentions_stream_writer(node.annotation):
+                names.add(node.target.id)
+    return names
+
+
+def _mentions_stream_writer(annotation: ast.AST) -> bool:
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Attribute) and sub.attr == "StreamWriter":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "StreamWriter":
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if "StreamWriter" in sub.value:
+                return True
+    return False
+
+
+class TaskHygiene(Rule):
+    rule_id = "R008"
+    summary = (
+        "task handles must be retained (awaited or cancelled) and stream "
+        "writers closed with wait_closed()"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            functions: List[FunctionInfo] = list(module.functions.values())
+            for cls in module.classes.values():
+                functions.extend(cls.methods.values())
+            for fn in functions:
+                yield from self._check_fire_and_forget(fn)
+                yield from self._check_writer_close(fn)
+
+    def _check_fire_and_forget(self, fn: FunctionInfo) -> Iterator[Finding]:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Expr):
+                continue
+            value = node.value
+            if isinstance(value, ast.Await):
+                continue  # awaited inline: not fire-and-forget
+            if not isinstance(value, ast.Call):
+                continue
+            name = _call_name(value)
+            if name not in _SPAWN_NAMES:
+                continue
+            yield Finding(
+                path=fn.module.path,
+                line=value.lineno,
+                rule=self.rule_id,
+                symbol=fn.qualname,
+                message=(
+                    f"result of '{name}' is discarded — the task may be "
+                    f"garbage-collected mid-flight, its exceptions are "
+                    f"never retrieved, and shutdown cannot cancel it "
+                    f"(retain the handle; cancel and await it on stop)"
+                ),
+            )
+
+    def _check_writer_close(self, fn: FunctionInfo) -> Iterator[Finding]:
+        annotated = _annotated_writers(fn.node)
+        closes: List[Tuple[Tuple[str, Tuple[str, ...]], int]] = []
+        waited: Set[Tuple[str, Tuple[str, ...]]] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            key = _receiver_key(node.func.value)
+            if key is None:
+                continue
+            if node.func.attr == "close" and _is_writer_key(key, annotated):
+                closes.append((key, node.lineno))
+            elif node.func.attr == "wait_closed":
+                waited.add(key)
+        for key, line in closes:
+            if key in waited:
+                continue
+            root, path = key
+            display = ".".join((root,) + path)
+            yield Finding(
+                path=fn.module.path,
+                line=line,
+                rule=self.rule_id,
+                symbol=fn.qualname,
+                message=(
+                    f"'{display}.close()' without 'await "
+                    f"{display}.wait_closed()' — close() only schedules "
+                    f"the teardown; the transport and its buffers leak "
+                    f"until the loop gets around to it"
+                ),
+            )

@@ -24,21 +24,40 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 _PATTERN = re.compile(
     r"#\s*repro:\s*(?P<scope>ignore-file|ignore)\[(?P<rules>[A-Z0-9,\s]+)\]"
 )
 
 
-def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """Extract ``(line -> rule ids, file-level rule ids)`` from *source*.
+@dataclass(frozen=True, order=True)
+class SuppressionDecl:
+    """One suppression comment, as written: where, what scope, which rules.
+
+    The burn-down pass matches raw findings back against declarations:
+    a ``(declaration, rule)`` pair that suppressed nothing is *dead* and
+    reported as a warning so stale opt-outs get deleted instead of
+    silently masking future regressions.
+    """
+
+    line: int
+    scope: str  # "line" | "file"
+    rules: FrozenSet[str]
+
+
+def parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str], List[SuppressionDecl]]:
+    """Extract ``(line -> rule ids, file-level rule ids, declarations)``.
 
     Unreadable sources (tokenisation errors) yield no suppressions —
     the analyzer reports the parse failure separately.
     """
     per_line: Dict[int, Set[str]] = {}
     per_file: Set[str] = set()
+    decls: List[SuppressionDecl] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
@@ -54,8 +73,14 @@ def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
             }
             if match.group("scope") == "ignore-file":
                 per_file |= rules
+                decls.append(
+                    SuppressionDecl(token.start[0], "file", frozenset(rules))
+                )
             else:
                 per_line.setdefault(token.start[0], set()).update(rules)
+                decls.append(
+                    SuppressionDecl(token.start[0], "line", frozenset(rules))
+                )
     except (tokenize.TokenError, IndentationError, SyntaxError):
         pass
-    return per_line, per_file
+    return per_line, per_file, decls

@@ -29,6 +29,12 @@ process death all recover the same way: build a fresh engine with the
 same configuration, point a new runner at the same directory, and call
 :meth:`run` with the same input.
 """
+# The WAL append, delivery log and checkpoint are *deliberately*
+# synchronous on the caller's thread: sync-before-ack is the durability
+# contract (an acked frame is on disk), and the ingest gateway's
+# group-commit batches one flush per socket batch to amortise it.
+# Moving these writes off-thread would ack frames the disk has not seen.
+# repro: ignore-file[R007] -- group-commit durability is synchronous by design
 
 from __future__ import annotations
 

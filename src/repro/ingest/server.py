@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import queue
 import threading
 import time
 from pathlib import Path
@@ -194,6 +195,86 @@ class _DirectRunner:
         return self._seq
 
 
+class _JournalWriter:
+    """Off-loop journal appender: a queue drained by a daemon thread.
+
+    The gateway journal is an operator artifact (liveness transitions,
+    crash/listen/seal records), appended from coroutine context.
+    Writing it inline would block the event loop on disk latency — a
+    slow append would stall every connection *and* the liveness timer
+    (rule R007) — so appends enqueue, and a writer thread batches queued
+    lines to disk.
+
+    :meth:`flush` is the ordering barrier: it returns once everything
+    enqueued before it is on disk.  The gateway flushes at the points a
+    reader relies on the file — the crash record before the crash
+    propagates, ``stop``/``seal`` before the journal is inspected, and
+    on demand via :meth:`IngestGateway.flush_journal`.
+    """
+
+    _FLUSH_TIMEOUT = 10.0
+
+    def __init__(self, path: Path):
+        self._path = path
+        #: lines to append; Events are flush barriers; None stops the thread.
+        self._queue: "queue.Queue[Union[str, threading.Event, None]]" = (
+            queue.Queue()
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._spawn_lock = threading.Lock()
+
+    def append(self, line: str) -> None:
+        self._ensure_thread()
+        self._queue.put(line)
+
+    def flush(self) -> None:
+        """Block until every line enqueued before this call is on disk."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        barrier = threading.Event()
+        self._queue.put(barrier)
+        barrier.wait(self._FLUSH_TIMEOUT)
+
+    def close(self) -> None:
+        """Flush and park the writer thread (respawns on next append)."""
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            return
+        self.flush()
+        self._queue.put(None)
+        thread.join(self._FLUSH_TIMEOUT)
+
+    def _ensure_thread(self) -> None:
+        with self._spawn_lock:
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._drain, name="gateway-journal", daemon=True
+                )
+                self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            first = self._queue.get()
+            batch = [first]
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            lines = [entry for entry in batch if isinstance(entry, str)]
+            if lines:
+                with self._path.open("a", encoding="utf-8") as handle:
+                    handle.writelines(lines)
+            parked = False
+            for entry in batch:
+                if entry is None:
+                    parked = True
+                elif isinstance(entry, threading.Event):
+                    entry.set()
+            if parked:
+                return
+
+
 class IngestGateway:
     """One stream's ingestion front door: admission, liveness, durability.
 
@@ -257,6 +338,11 @@ class IngestGateway:
                 )
             self.directory = None
             self.runner = _DirectRunner(engine)
+        self._journal_writer: Optional[_JournalWriter] = (
+            _JournalWriter(self.directory / JOURNAL_NAME)
+            if self.directory is not None
+            else None
+        )
         self.admission = AdmissionController(self.schema, window=config.dedupe_window)
         self.liveness = LivenessTracker(
             config.liveness_timeout, slack=self.schema.source_slack
@@ -526,14 +612,28 @@ class IngestGateway:
     def _note_crash(self) -> None:
         self.crashed = True
         self._journal("crash", seq=self.runner.seq)
+        # The crash record must hit disk before the CrashError propagates:
+        # the next incarnation (and the operator) reads the journal to
+        # learn the previous one died.
+        self.flush_journal()
 
     def _journal(self, kind: str, **fields: Any) -> None:
-        if self.directory is None:
+        if self._journal_writer is None:
             return
         record = {"kind": kind}
         record.update(fields)
-        with (self.directory / JOURNAL_NAME).open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal_writer.append(json.dumps(record, sort_keys=True) + "\n")
+
+    def flush_journal(self) -> None:
+        """Block until every journal record enqueued so far is on disk.
+
+        Journal appends are asynchronous (see :class:`_JournalWriter`);
+        anything that reads ``gateway.jsonl`` while the gateway lives —
+        tests, operator tooling — must flush first.  ``stop``/``seal``
+        and crash paths flush on their own.
+        """
+        if self._journal_writer is not None:
+            self._journal_writer.flush()
 
     def _remember_source(self, source: str) -> None:
         """Journal a source's first sighting so a restart re-registers it."""
@@ -601,6 +701,7 @@ class IngestGateway:
         self.closed = True
         matches = self.runner.close()
         self._journal("seal", matches=len(self.runner.matches))
+        self.flush_journal()
         return matches
 
     # -- asyncio transport -------------------------------------------------------------
@@ -617,19 +718,37 @@ class IngestGateway:
         self._journal("listen", host=self.config.host, port=self._bound_port)
 
     async def stop(self, seal: bool = True) -> None:
-        """Stop accepting, drop connections, optionally seal the engine."""
-        if self._tick_task is not None:
-            self._tick_task.cancel()
-            self._tick_task = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        for writer in list(self._writers):
+        """Stop accepting, drop connections, optionally seal the engine.
+
+        Shared handles are swapped out *before* the first await (R006):
+        a concurrent ``stop`` or a tick-loop crash interleaving at an
+        await point sees the already-cleared attribute instead of
+        double-closing, and nothing decided before a suspension is
+        written back after one.
+        """
+        task, self._tick_task = self._tick_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        writers, self._writers = list(self._writers), set()
+        for writer in writers:
             writer.close()
-        self._writers.clear()
+        for writer in writers:
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer already gone; the transport is torn either way
         if seal and not self.crashed and not self.closed:
             self.seal()
+        if self._journal_writer is not None:
+            self._journal_writer.close()
 
     async def _tick_loop(self) -> None:
         while True:
@@ -644,15 +763,16 @@ class IngestGateway:
         # Simulated process death: every connection is torn, nothing is
         # acked, the listener stops.  Clients reconnect to the next
         # incarnation and resend; the WAL-preloaded window dedupes.
-        if self._tick_task is not None:
-            self._tick_task.cancel()
-            self._tick_task = None
-        if self._server is not None:
-            self._server.close()
-            self._server = None
+        task, self._tick_task = self._tick_task, None
+        if task is not None:
+            task.cancel()
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
         for writer in list(self._writers):
             writer.transport.abort()
         self._writers.clear()
+        self.flush_journal()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -749,6 +869,10 @@ class IngestGateway:
             if source is not None and not self.crashed:
                 self.disconnect_source(source)
             writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer reset or transport aborted mid-teardown
 
     def _handle_hello(self, frame: Dict[str, Any]) -> Any:
         source = frame.get("source")

@@ -1,0 +1,38 @@
+"""R006 fixture: read-modify-write of shared state across an await."""
+
+import asyncio
+
+
+class BadCounter:
+    def __init__(self):
+        self.total = 0
+        self.hits = 0
+        self._lock = asyncio.Lock()
+
+    async def bump(self, amount):
+        seen = self.total  # line 13: basis read
+        await asyncio.sleep(0)  # line 14: suspension point
+        self.total = seen + amount  # line 15: the finding — stale write
+
+    async def bump_inplace(self):
+        self.hits += await self._cost()  # line 18: read + await + write
+
+    async def _cost(self):
+        await asyncio.sleep(0)
+        return 1
+
+    async def bump_guarded(self, amount):
+        async with self._lock:  # lock held across read, await, write
+            seen = self.total
+            await asyncio.sleep(0)
+            self.total = seen + amount  # clean: guarded region
+
+    async def bump_revalidated(self, amount):
+        seen = self.total
+        await asyncio.sleep(0)
+        seen = self.total  # re-read after the await refreshes
+        self.total = seen + amount  # clean: basis is post-await
+
+    async def bump_before_await(self, amount):
+        self.total = self.total + amount  # RMW completes before suspending
+        await asyncio.sleep(0)  # clean: nothing pending

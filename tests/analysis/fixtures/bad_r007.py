@@ -1,0 +1,20 @@
+"""R007 fixture: blocking I/O on the event loop, direct and transitive."""
+
+import time
+
+
+class BadIngest:
+    def __init__(self, path):
+        self.path = path
+        self.accepted = []
+
+    def _append(self, line):
+        # Sync helper: blocking open is fine on a worker thread, but this
+        # helper is called from a coroutine, so it runs on the loop.
+        with self.path.open("a") as handle:  # line 14: transitive finding
+            handle.write(line)
+
+    async def handle(self, line):
+        time.sleep(0.01)  # line 18: direct finding
+        self.accepted.append(line)
+        self._append(line)

@@ -1,0 +1,16 @@
+"""R008 fixture: fire-and-forget task; writer closed without wait_closed."""
+
+import asyncio
+
+
+class BadLifecycle:
+    async def start(self):
+        asyncio.get_running_loop().create_task(self._tick())  # line 8: discarded
+
+    async def _tick(self):
+        await asyncio.sleep(1)
+
+    async def farewell(self, writer: asyncio.StreamWriter):
+        writer.write(b"bye\n")
+        await writer.drain()
+        writer.close()  # line 16: no wait_closed in this function

@@ -1,0 +1,28 @@
+"""R009 fixture: R001-clean by name, broken by flow.
+
+``_cursor`` is *mentioned* by both sides of the round trip — the
+snapshot method reads it, the restore method assigns it — so R001 is
+satisfied.  But the read value never reaches the returned state dict,
+and the restore assignment is a constant reset, so a crash-recovery
+round trip silently zeroes the cursor.
+"""
+
+
+class BadRoundTrip:
+    def __init__(self):
+        self._items = []
+        self._cursor = 0
+
+    def advance(self, item):
+        self._items.append(item)
+        self._cursor += 1
+
+    def snapshot(self):
+        cursor = self._cursor  # line 21: read… then dropped (finding)
+        state = {"items": list(self._items)}
+        del cursor
+        return state
+
+    def restore(self, state):
+        self._items = list(state["items"])
+        self._cursor = 0  # line 28: reset, not derived (finding)

@@ -1,0 +1,43 @@
+"""Negative fixture: asyncio lifecycle code every async rule accepts."""
+
+import asyncio
+
+
+class CleanAsync:
+    def __init__(self):
+        self.total = 0
+        self._lock = asyncio.Lock()
+        self._task = None
+
+    async def start(self):
+        # Task handle retained: cancellable on stop (R008-clean).
+        self._task = asyncio.get_running_loop().create_task(self._tick())
+
+    async def _tick(self):
+        await asyncio.sleep(0.1)
+
+    async def stop(self):
+        # Swap-before-await: no shared handle is read before a suspension
+        # and written after one (R006-clean).
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def bump(self, amount):
+        # Lock held across the read/await/write section (R006-clean).
+        async with self._lock:
+            seen = self.total
+            await asyncio.sleep(0)
+            self.total = seen + amount
+
+    async def farewell(self, writer: asyncio.StreamWriter):
+        # Close is paired with wait_closed (R008-clean); StreamWriter
+        # writes are sync-then-drain by design (not R007 vocabulary).
+        writer.write(b"bye\n")
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()

@@ -1,0 +1,460 @@
+"""Unit tests for the intra-function dataflow engine.
+
+These exercise :mod:`repro.analysis.dataflow` directly — CFG shape,
+the R006 stale-write fixpoint, and the R009 def-use closures — on
+small inline sources, independent of the rule layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    AWAIT,
+    READ,
+    WRITE,
+    attr_reads_reaching_return,
+    build_cfg,
+    restore_derivations,
+    stale_attr_writes,
+    walk_scope,
+)
+
+
+def fn(source: str, name: str = None):
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if name is None or node.name == name:
+                return node
+    raise AssertionError(f"no function {name!r} in source")
+
+
+def events(cfg, kind=None):
+    out = []
+    for block in cfg.blocks:
+        for event in block.events:
+            if kind is None or event.kind == kind:
+                out.append(event)
+    return out
+
+
+# -- CFG construction -------------------------------------------------------------
+
+
+def test_walk_scope_skips_nested_functions():
+    node = fn(
+        """
+        def outer(self):
+            x = self.a
+            def inner():
+                return self.b
+            return x
+        """,
+        "outer",
+    )
+    attrs = {
+        sub.attr
+        for sub in walk_scope(node)
+        if isinstance(sub, ast.Attribute)
+    }
+    assert "a" in attrs
+    assert "b" not in attrs
+
+
+def test_branch_produces_two_successors():
+    cfg = build_cfg(
+        fn(
+            """
+            async def f(self):
+                if self.flag:
+                    self.a = 1
+                else:
+                    self.b = 2
+                self.c = 3
+            """
+        )
+    )
+    branching = [b for b in cfg.blocks if len(b.successors) >= 2]
+    assert branching, "if/else should fork the CFG"
+    # Both arms eventually reach the join writing self.c.
+    writes = {e.attr for e in events(cfg, WRITE)}
+    assert writes == {"a", "b", "c"}
+
+
+def test_loop_has_back_edge():
+    cfg = build_cfg(
+        fn(
+            """
+            async def f(self):
+                while self.more:
+                    self.n = self.n + 1
+            """
+        )
+    )
+    assert any(
+        succ <= block.index
+        for block in cfg.blocks
+        for succ in block.successors
+    ), "while loop should produce a back edge"
+
+
+def test_await_emits_suspension_event():
+    cfg = build_cfg(
+        fn(
+            """
+            async def f(self):
+                await self.other()
+            """
+        )
+    )
+    assert len(events(cfg, AWAIT)) == 1
+
+
+def test_async_with_lock_marks_events_guarded():
+    cfg = build_cfg(
+        fn(
+            """
+            async def f(self):
+                async with self._lock:
+                    seen = self.total
+                    await self.pause()
+                self.done = True
+            """
+        )
+    )
+    by_attr = {e.attr: e for e in events(cfg, READ) if e.attr == "total"}
+    assert by_attr["total"].guarded
+    done = [e for e in events(cfg, WRITE) if e.attr == "done"]
+    assert not done[0].guarded
+
+
+# -- R006: stale writes across awaits ----------------------------------------------
+
+
+def stale(source: str, name: str = None):
+    return stale_attr_writes(fn(source, name))
+
+
+def test_read_await_write_fires():
+    found = stale(
+        """
+        async def f(self):
+            seen = self.total
+            await self.pause()
+            self.total = seen + 1
+        """
+    )
+    # Line 1 is the leading blank of the triple-quoted source.
+    assert [(v.attr, v.read_line, v.await_line, v.write_line) for v in found] == [
+        ("total", 3, 4, 5)
+    ]
+
+
+def test_reread_after_await_is_clean():
+    assert (
+        stale(
+            """
+            async def f(self):
+                seen = self.total
+                await self.pause()
+                seen = self.total
+                self.total = seen + 1
+            """
+        )
+        == []
+    )
+
+
+def test_write_before_await_is_clean():
+    assert (
+        stale(
+            """
+            async def f(self):
+                self.total = self.total + 1
+                await self.pause()
+            """
+        )
+        == []
+    )
+
+
+def test_lock_guarded_section_is_clean():
+    assert (
+        stale(
+            """
+            async def f(self):
+                async with self._lock:
+                    seen = self.total
+                    await self.pause()
+                    self.total = seen + 1
+            """
+        )
+        == []
+    )
+
+
+def test_await_on_only_one_branch_still_fires():
+    found = stale(
+        """
+        async def f(self):
+            seen = self.total
+            if self.slow:
+                await self.pause()
+            self.total = seen + 1
+        """
+    )
+    assert [v.attr for v in found] == ["total"]
+
+
+def test_await_inside_loop_reaches_write_after_it():
+    found = stale(
+        """
+        async def f(self):
+            seen = self.total
+            for item in self.items:
+                await self.push(item)
+            self.total = seen + 1
+        """
+    )
+    assert [v.attr for v in found] == ["total"]
+
+
+def test_write_in_finally_sees_await_in_try():
+    found = stale(
+        """
+        async def f(self):
+            seen = self.total
+            try:
+                await self.pause()
+            finally:
+                self.total = seen + 1
+        """
+    )
+    assert [v.attr for v in found] == ["total"]
+
+
+def test_augassign_with_await_operand_fires():
+    found = stale(
+        """
+        async def f(self):
+            self.hits += await self.cost()
+        """
+    )
+    assert [v.attr for v in found] == ["hits"]
+
+
+def test_mutation_of_stale_collection_fires():
+    found = stale(
+        """
+        async def f(self, item):
+            if item in self.pending:
+                await self.pause()
+                self.pending.remove(item)
+        """
+    )
+    assert [v.attr for v in found] == ["pending"]
+
+
+def test_nested_function_body_is_opaque():
+    assert (
+        stale(
+            """
+            async def f(self):
+                def callback():
+                    self.total = self.total + 1
+                await self.pause()
+            """,
+            "f",
+        )
+        == []
+    )
+
+
+def test_swap_before_await_is_clean():
+    # The shutdown idiom used throughout repro.ingest.server.stop().
+    assert (
+        stale(
+            """
+            async def f(self):
+                task, self._task = self._task, None
+                if task is not None:
+                    task.cancel()
+                    await task
+            """
+        )
+        == []
+    )
+
+
+# -- R009 capture side: reads reaching the return ---------------------------------
+
+
+def test_direct_return_read_is_captured():
+    captured = attr_reads_reaching_return(
+        fn(
+            """
+            def snapshot(self):
+                return {"n": self.n}
+            """
+        )
+    )
+    assert "n" in captured
+
+
+def test_read_into_dropped_local_is_not_captured():
+    captured = attr_reads_reaching_return(
+        fn(
+            """
+            def snapshot(self):
+                cursor = self._cursor
+                return {"items": list(self._items)}
+            """
+        )
+    )
+    assert "_items" in captured
+    assert "_cursor" not in captured
+
+
+def test_chained_locals_flow_to_return():
+    captured = attr_reads_reaching_return(
+        fn(
+            """
+            def snapshot(self):
+                raw = self._buf
+                state = {"buf": list(raw)}
+                return state
+            """
+        )
+    )
+    assert "_buf" in captured
+
+
+def test_store_into_parameter_escapes():
+    captured = attr_reads_reaching_return(
+        fn(
+            """
+            def fill(self, out):
+                out["x"] = self._x
+            """
+        )
+    )
+    assert "_x" in captured
+
+
+def test_loop_target_feeds_from_iterable():
+    captured = attr_reads_reaching_return(
+        fn(
+            """
+            def snapshot(self):
+                state = {}
+                for name, metric in self._metrics.items():
+                    state[name] = metric.value
+                return state
+            """
+        )
+    )
+    assert "_metrics" in captured
+
+
+def test_accumulator_call_feeds_receiver():
+    captured = attr_reads_reaching_return(
+        fn(
+            """
+            def snapshot(self):
+                state = {}
+                state.update({"n": self.n})
+                return state
+            """
+        )
+    )
+    assert "n" in captured
+
+
+# -- R009 restore side: derivations from the payload ------------------------------
+
+
+def test_subscript_store_is_derived():
+    summary = restore_derivations(
+        fn(
+            """
+            def restore(self, state):
+                self._items = list(state["items"])
+            """
+        )
+    )
+    assert "_items" in summary.derived
+    assert "_items" in summary.touched
+
+
+def test_constant_reset_is_touched_not_derived():
+    summary = restore_derivations(
+        fn(
+            """
+            def restore(self, state):
+                self._items = list(state["items"])
+                self._cursor = 0
+            """
+        )
+    )
+    assert "_cursor" in summary.touched
+    assert "_cursor" not in summary.derived
+
+
+def test_rebuild_loop_is_derived():
+    summary = restore_derivations(
+        fn(
+            """
+            def restore(self, state):
+                self._events = {}
+                for key, value in state["events"]:
+                    self._events[key] = value
+            """
+        )
+    )
+    assert "_events" in summary.derived
+
+
+def test_derivation_propagates_through_restored_attr():
+    # The derived-index idiom from repro.ingest.admission.
+    summary = restore_derivations(
+        fn(
+            """
+            def restore(self, state):
+                self._order = deque(state["order"])
+                self._ids = set(self._order)
+            """
+        )
+    )
+    assert summary.derived >= {"_order", "_ids"}
+
+
+def test_component_handoff_is_derived():
+    summary = restore_derivations(
+        fn(
+            """
+            def restore(self, state):
+                self.clock.restore_state(state["clock"])
+            """
+        )
+    )
+    assert "clock" in summary.derived
+
+
+def test_local_receiver_handoff_derives_store():
+    # The rebuilt-workers idiom from repro.streams.partition.
+    summary = restore_derivations(
+        fn(
+            """
+            def restore(self, state):
+                rebuilt = []
+                for payload in state["workers"]:
+                    stats = EngineStats()
+                    stats.restore_from(payload)
+                    rebuilt.append(stats)
+                self._worker_stats = rebuilt
+            """
+        )
+    )
+    assert "_worker_stats" in summary.derived

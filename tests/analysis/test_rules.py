@@ -13,11 +13,15 @@ import pytest
 
 from repro.analysis import run_analysis
 from repro.analysis.rules import all_rules
+from repro.analysis.rules.await_atomicity import AwaitAtomicity
 from repro.analysis.rules.batch_parity import BatchParity
+from repro.analysis.rules.blocking_async import BlockingInCoroutine
 from repro.analysis.rules.determinism import Determinism
 from repro.analysis.rules.hot_path_purity import HotPathPurity
 from repro.analysis.rules.purge_safety import PurgeSafety
 from repro.analysis.rules.snapshot_completeness import SnapshotCompleteness
+from repro.analysis.rules.snapshot_dataflow import SnapshotDataflow
+from repro.analysis.rules.task_hygiene import TaskHygiene
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -35,6 +39,10 @@ def test_rule_catalogue_is_complete():
         "R003",
         "R004",
         "R005",
+        "R006",
+        "R007",
+        "R008",
+        "R009",
     ]
 
 
@@ -80,16 +88,76 @@ def test_r005_flags_mutation_while_iterating():
     assert "_events" in findings[0].message
 
 
+def test_r006_flags_stale_writes_across_awaits():
+    findings = analyze("bad_r006.py", AwaitAtomicity())
+    flagged = sorted((f.line, f.message) for f in findings)
+    assert [line for line, _ in flagged] == [15, 18]
+    assert "'self.total'" in flagged[0][1]
+    assert "read on line 13" in flagged[0][1]
+    assert "await on line 14" in flagged[0][1]
+    assert "'self.hits'" in flagged[1][1]
+
+
+def test_r007_flags_blocking_calls_direct_and_transitive():
+    findings = analyze("bad_r007.py", BlockingInCoroutine())
+    by_line = {f.line: f.message for f in findings}
+    assert sorted(by_line) == [14, 18]
+    assert ".open" in by_line[14]
+    # Transitive finding explains how the coroutine reaches the helper.
+    assert "via 1 call" in by_line[14]
+    assert "time.sleep" in by_line[18]
+
+
+def test_r008_flags_discarded_task_and_unawaited_close():
+    findings = analyze("bad_r008.py", TaskHygiene())
+    by_line = {f.line: f.message for f in findings}
+    assert sorted(by_line) == [8, 16]
+    assert "create_task" in by_line[8]
+    assert "wait_closed" in by_line[16]
+
+
+def test_r009_flags_flow_broken_round_trip():
+    findings = analyze("bad_r009.py", SnapshotDataflow())
+    by_line = {f.line: f.message for f in findings}
+    assert sorted(by_line) == [21, 28]
+    # Capture side: the read value never reaches the returned state.
+    assert "'_cursor'" in by_line[21]
+    # Restore side: the assignment is not derived from the state payload.
+    assert "'_cursor'" in by_line[28]
+
+
+def test_r009_is_silent_where_r001_already_fires():
+    """A fully missing attribute is R001 territory; R009 must not
+    double-report it."""
+    findings = analyze("bad_r001.py", SnapshotDataflow())
+    assert findings == []
+
+
 @pytest.mark.parametrize("rule", all_rules(), ids=lambda r: r.rule_id)
 def test_clean_engine_passes_every_rule(rule):
     assert analyze("clean_engine.py", rule) == []
 
 
+@pytest.mark.parametrize("rule", all_rules(), ids=lambda r: r.rule_id)
+def test_clean_async_passes_every_rule(rule):
+    assert analyze("clean_async.py", rule) == []
+
+
 def test_full_run_over_fixture_dir_counts_every_rule():
     report = run_analysis([str(FIXTURES)])
     rules_seen = {finding.rule for finding in report.findings}
-    assert rules_seen == {"R001", "R002", "R003", "R004", "R005"}
-    assert report.checked_files == 6
+    assert rules_seen == {
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R005",
+        "R006",
+        "R007",
+        "R008",
+        "R009",
+    }
+    assert report.checked_files == 11
 
 
 def test_r001_catches_field_dropped_from_real_engine(tmp_path):

@@ -25,12 +25,16 @@ def _write(tmp_path, text):
 
 
 def test_parse_line_and_file_scopes():
-    per_line, per_file = parse_suppressions(
+    per_line, per_file, decls = parse_suppressions(
         "# repro: ignore-file[R002]\n"
         "x = 1  # repro: ignore[R001,R003] -- justification text\n"
     )
     assert per_file == {"R002"}
     assert per_line == {2: {"R001", "R003"}}
+    assert [(d.line, d.scope, d.rules) for d in decls] == [
+        (1, "file", frozenset({"R002"})),
+        (2, "line", frozenset({"R001", "R003"})),
+    ]
 
 
 def test_unsuppressed_fixture_fires(tmp_path):

@@ -26,7 +26,18 @@ def test_suppressions_are_exercised():
     """Every committed suppression still matches a real finding; stale
     opt-outs (the finding disappeared) should be deleted, not kept."""
     report = run_analysis([str(SRC)])
-    assert report.suppressed == 7
+    assert report.suppressed == 11
+
+
+def test_no_dead_suppressions():
+    """The burn-down gate: a ``# repro: ignore`` that matches no finding
+    for any active rule is dead weight and must be removed, not kept
+    around to mask future regressions."""
+    report = run_analysis([str(SRC)])
+    assert report.dead_suppressions == [], "\n" + "\n".join(
+        f"{path}:{line}: {rule} suppression is dead"
+        for path, line, rule in report.dead_suppressions
+    )
 
 
 def test_obs_subtree_is_clean_without_suppressions():

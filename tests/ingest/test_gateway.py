@@ -168,6 +168,8 @@ def test_transitions_are_journalled_traced_and_counted(tmp_path):
     assert registry.get("repro_ingest_degraded_total").value == 1
     assert registry.get("repro_ingest_recovered_total").value == 1
 
+    # Journal appends ride an off-loop writer thread; flush before reading.
+    gateway.flush_journal()
     journal = [
         json.loads(line)
         for line in (tmp_path / "gateway.jsonl").read_text().splitlines()
