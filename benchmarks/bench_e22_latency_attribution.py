@@ -1,0 +1,461 @@
+"""E22 — Latency attribution: overhead, stage identity, flight recorder.
+
+Not a paper figure: this experiment prices and validates the
+cross-layer observability added to the ingestion gateway — per-frame
+span attribution (``repro_stage_seconds``), the telemetry sidecar, and
+the crash flight recorder.  Three cells:
+
+* **overhead** — the same direct-drive admission workload through three
+  gateways: ``pre_pr`` (a control subclass whose ``admit_frame`` /
+  ``_advance_watermark`` are the previous bodies verbatim, with none of
+  the span/flight hooks), ``disabled`` (current code, observability
+  off), and ``enabled`` (metrics + spans + flight recording all on).
+  Best-of-N wall clock isolates what the disabled path costs — it must
+  stay within 3% of the pre-PR control — and what full attribution
+  costs when switched on.
+* **identity** — a loopback socket soak with the telemetry sidecar
+  live: ``/metrics`` is scraped mid-stream (a scrape must never block
+  or corrupt admission), and after the soak every sealed cohort is
+  audited for the attribution identity — the ack-path stage latencies
+  (queue/admit/feed/hold/sync/ack) must sum to the measured end-to-end
+  ack latency within 5%.  Zero violating cohorts is the claim.
+* **crash** — a fault-injected gateway dies mid-ingest; the flight
+  recorder must leave a parseable ``flight.jsonl`` behind and
+  ``repro explain --flight`` must read it and name a proximate stall.
+
+Claims (the CI ``--check`` gate):
+
+* disabled-path throughput is within **3%** of the pre-PR control
+  (best-of-N on an idle machine; CI treats it as a smoke bound);
+* every soak cohort satisfies the stage-sum == e2e identity (≤ 5%
+  relative error), and the mid-soak scrape returned stage samples;
+* the crash dump exists, parses, and ``explain --flight`` exits 0.
+
+Writes ``BENCH_e22.json`` at the repo root next to the rendered table
+in ``benchmarks/results/``.  ``--quick`` runs a smaller configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import OutOfOrderEngine, parse
+from repro.cli import main as cli_main
+from repro.core.errors import ReproError
+from repro.faultinject import CrashError, FaultInjector
+from repro.ingest import (
+    EventSchema,
+    FieldSpec,
+    GatewayConfig,
+    IngestClient,
+    IngestGateway,
+    StreamSchema,
+    serve_in_thread,
+)
+from repro.ingest.admission import AdmissionOutcome
+from repro.metrics import render_table
+from repro.obs import MetricsRegistry
+from repro.obs.export import parse_prometheus
+from repro.obs.flight import FlightRecorder, analyze_flight, load_flight
+from repro.obs.httpserv import http_get
+from repro.obs.span import mint_span
+
+from common import write_result
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_e22.json"
+
+QUERY = "PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 20"
+FRAMES = 20000
+REPEATS = 5
+SOAK_PAIRS = 400
+QUICK_FRAMES = 4000
+QUICK_REPEATS = 3
+QUICK_SOAK_PAIRS = 120
+
+
+class _PrePRGateway(IngestGateway):
+    """The gateway exactly as shipped before this PR: no span hooks.
+
+    ``admit_frame`` and ``_advance_watermark`` below are the previous
+    bodies verbatim — no ``self._spans`` reads, no flight notes, no lag
+    panel — so the a/b comparison isolates exactly what the disabled
+    observability path adds per admitted frame.
+    """
+
+    def admit_frame(
+        self,
+        source: str,
+        etype: Any,
+        attrs: Any,
+        now: Optional[float] = None,
+        span: Any = None,
+    ) -> Dict[str, Any]:
+        if self.crashed:
+            raise ReproError("gateway crashed; rebuild it to recover")
+        if now is None:
+            now = self._clock()
+        self._remember_source(source)
+        pressure = self.pressure()
+        if pressure >= self.config.hard_pressure:
+            self.busy_total += 1
+            if self._c_busy is not None:
+                self._c_busy.inc()
+            return {
+                "status": "busy",
+                "retry_after": self.config.retry_after,
+                "pressure": round(pressure, 4),
+            }
+        admission = self.admission.admit(source, etype, attrs)
+        if admission.outcome is AdmissionOutcome.QUARANTINED:
+            if self._c_quarantined is not None:
+                self._c_quarantined.inc()
+            transition = self.liveness.connect(source, now)
+            if transition is not None:
+                self._note_transition(transition)
+            return {"status": "quarantined", "reason": admission.reason}
+        if admission.outcome is AdmissionOutcome.DUPLICATE:
+            if self._c_duplicates is not None:
+                self._c_duplicates.inc()
+            transition = self.liveness.connect(source, now)
+            if transition is not None:
+                self._note_transition(transition)
+            return {"status": "duplicate"}
+        event = admission.event
+        transition = self.liveness.observe(source, event.ts, now)
+        if transition is not None:
+            self._note_transition(transition)
+        try:
+            self.runner.feed(event)
+            self._advance_watermark()
+        except CrashError:
+            self._note_crash()
+            raise
+        if self._c_admitted is not None:
+            self._c_admitted.inc()
+        ack: Dict[str, Any] = {"status": "admitted"}
+        if pressure >= self.config.soft_pressure:
+            band = self.config.hard_pressure - self.config.soft_pressure
+            depth = (pressure - self.config.soft_pressure) / band if band else 1.0
+            ack["throttle"] = round(self.config.retry_after * min(1.0, depth), 6)
+            self.throttled_total += 1
+        return ack
+
+    def _advance_watermark(self) -> None:
+        punctuation = self.liveness.watermarks.advance()
+        if punctuation is not None:
+            self.runner.feed(punctuation)
+        if self._g_watermark is not None:
+            self._g_watermark.set(self.liveness.merged_watermark())
+
+
+def _schema() -> StreamSchema:
+    fields = [FieldSpec("ts", "int"), FieldSpec("x", "int")]
+    return StreamSchema(
+        "attrib",
+        t_event="ts",
+        source_slack=2,
+        ordering_scope="global",
+        events=[EventSchema("A", list(fields)), EventSchema("B", list(fields))],
+    )
+
+
+def _frames(count: int):
+    frames = []
+    for i in range(count // 2):
+        x = i % 5
+        frames.append(("A", {"ts": 2 * i, "x": x}))
+        frames.append(("B", {"ts": 2 * i + 1, "x": x}))
+    return frames
+
+
+def _build(
+    mode: str, frames: int, directory=None, fault=None, telemetry_port=None
+) -> IngestGateway:
+    pattern = parse(QUERY)
+    config = GatewayConfig(
+        _schema(), liveness_timeout=60.0, dedupe_window=4096,
+        telemetry_port=telemetry_port,
+    )
+    cls = _PrePRGateway if mode == "pre_pr" else IngestGateway
+    kwargs: Dict[str, Any] = {}
+    if mode == "enabled":
+        kwargs = {"metrics": MetricsRegistry(), "flight": FlightRecorder()}
+    return cls(
+        lambda: OutOfOrderEngine(pattern, k=frames + 8),
+        config,
+        directory=directory,
+        fault=fault,
+        **kwargs,
+    )
+
+
+# -- cell 1: overhead --------------------------------------------------------------
+
+
+def _drive_once(mode: str, frames) -> float:
+    gateway = _build(mode, len(frames))
+    with_spans = mode == "enabled"
+    started = time.perf_counter()
+    for i, (etype, attrs) in enumerate(frames):
+        span = mint_span(float(i)) if with_spans else None
+        gateway.admit_frame("src0", etype, attrs, now=float(i), span=span)
+        if i % 256 == 255:
+            gateway.sync_acks()
+    gateway.sync_acks()
+    elapsed = time.perf_counter() - started
+    gateway.seal()
+    return elapsed
+
+
+def _overhead_cell(frame_count: int, repeats: int):
+    frames = _frames(frame_count)
+    best: Dict[str, float] = {}
+    # One untimed warmup pass first: whoever runs cold pays import and
+    # allocator setup, and pre_pr always leads the rotation below.
+    _drive_once("pre_pr", frames[: max(2, frame_count // 10)])
+    # Interleave the modes inside each repeat so machine noise (thermal
+    # drift, a background process) hits all three evenly.
+    for __ in range(repeats):
+        for mode in ("pre_pr", "disabled", "enabled"):
+            elapsed = _drive_once(mode, frames)
+            best[mode] = min(best.get(mode, elapsed), elapsed)
+    rows = []
+    for mode in ("pre_pr", "disabled", "enabled"):
+        rows.append(
+            {
+                "mode": mode,
+                "frames": frame_count,
+                "best_s": round(best[mode], 4),
+                "throughput_fps": round(frame_count / best[mode], 1),
+                "vs_pre_pr": round(best[mode] / best["pre_pr"], 4),
+            }
+        )
+    return rows
+
+
+# -- cell 2: identity over a live socket -------------------------------------------
+
+
+def _identity_cell(pairs: int):
+    gateway = _build("enabled", 2 * pairs, telemetry_port=0)
+    handle = serve_in_thread(gateway)
+    scrape: Dict[str, Any] = {}
+
+    def scrape_midstream():
+        # Fires while frames are in flight: the claim is that a scrape
+        # neither blocks admission nor reads a torn registry.
+        status, body = http_get(
+            "127.0.0.1", gateway.telemetry_port, "/metrics", timeout=10.0
+        )
+        samples = parse_prometheus(body) if status == 200 else {}
+        scrape["status"] = status
+        scrape["stage_samples"] = sum(
+            1 for key in samples if key.startswith("repro_stage_seconds")
+        )
+        scrape["watermark_gauges"] = sum(
+            1 for key in samples if key.startswith("repro_source_watermark")
+        )
+
+    try:
+        client = IngestClient("127.0.0.1", gateway.port, "src0", "attrib", window=64)
+        client.connect()
+        scraper = threading.Thread(target=scrape_midstream)
+        frames = _frames(2 * pairs)
+        for i, (etype, attrs) in enumerate(frames):
+            if i == len(frames) // 2:
+                scraper.start()
+            client.send(etype, dict(attrs))
+        report = client.close()
+        scraper.join(timeout=15.0)
+    finally:
+        handle.stop(seal=True)
+
+    cohorts = list(gateway._spans.cohorts)
+    violations = 0
+    worst_rel = 0.0
+    for record in cohorts:
+        e2e = record["e2e_sum"]
+        total = sum(record["stage_sums"].values())
+        rel = abs(total - e2e) / e2e if e2e else 0.0
+        worst_rel = max(worst_rel, rel)
+        if rel > 0.05:
+            violations += 1
+    return {
+        "cell": "identity",
+        "frames": 2 * pairs,
+        "cohorts": len(cohorts),
+        "identity_violations": violations,
+        "worst_rel_error": round(worst_rel, 6),
+        "scrape_status": scrape.get("status"),
+        "scrape_stage_samples": scrape.get("stage_samples", 0),
+        "scrape_watermark_gauges": scrape.get("watermark_gauges", 0),
+        "client_p50_ack_s": round(
+            sorted(report.latencies)[len(report.latencies) // 2], 6
+        ),
+    }
+
+
+# -- cell 3: the crash flight dump -------------------------------------------------
+
+
+def _crash_cell(pairs: int):
+    frames = _frames(2 * pairs)
+    crash_at = len(frames) // 2
+    with tempfile.TemporaryDirectory(prefix="repro-e22-") as directory:
+        gateway = _build(
+            "enabled", len(frames), directory=directory,
+            fault=FaultInjector(crash_at=[crash_at]),
+        )
+        crashed = False
+        for i, (etype, attrs) in enumerate(frames):
+            try:
+                gateway.admit_frame("src0", etype, attrs, now=float(i))
+            except CrashError:
+                crashed = True
+                break
+        dump = Path(directory) / "flight.jsonl"
+        header, records = load_flight(dump.read_text(encoding="utf-8"))
+        report = analyze_flight(header, records)
+        # The CLI prints the rendered dump; swallow it — the table
+        # below reports the exit code and verdict.
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            explain_exit = cli_main(["explain", "--flight", directory])
+        assert "proximate stall:" in sink.getvalue()
+        return {
+            "cell": "crash",
+            "crashed": crashed,
+            "dump_reason": header.get("reason"),
+            "flight_records": len(records),
+            "verdict": report.verdict,
+            "explain_exit": explain_exit,
+        }
+
+
+# -- harness -----------------------------------------------------------------------
+
+
+def run_experiment(quick: bool = False) -> str:
+    frame_count = QUICK_FRAMES if quick else FRAMES
+    repeats = QUICK_REPEATS if quick else REPEATS
+    pairs = QUICK_SOAK_PAIRS if quick else SOAK_PAIRS
+
+    overhead = _overhead_cell(frame_count, repeats)
+    identity = _identity_cell(pairs)
+    crash = _crash_cell(pairs)
+
+    text = render_table(
+        f"E22 — attribution overhead, direct drive, {frame_count} frames "
+        f"(best of {repeats})",
+        ["mode", "best s", "frames/s", "vs pre-PR"],
+        [
+            [row["mode"], row["best_s"], row["throughput_fps"], row["vs_pre_pr"]]
+            for row in overhead
+        ],
+    )
+    text += render_table(
+        "E22b — stage-sum identity + mid-soak scrape over TCP",
+        ["frames", "cohorts", "violations", "worst rel err", "scrape", "stage samples"],
+        [
+            [
+                identity["frames"],
+                identity["cohorts"],
+                identity["identity_violations"],
+                identity["worst_rel_error"],
+                identity["scrape_status"],
+                identity["scrape_stage_samples"],
+            ]
+        ],
+    )
+    text += render_table(
+        "E22c — crash flight dump",
+        ["reason", "records", "verdict", "explain exit"],
+        [
+            [
+                crash["dump_reason"],
+                crash["flight_records"],
+                crash["verdict"],
+                crash["explain_exit"],
+            ]
+        ],
+    )
+
+    payload = {
+        "experiment": "e22",
+        "quick": quick,
+        "overhead": overhead,
+        "identity": identity,
+        "crash": crash,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return write_result("e22_latency_attribution", text)
+
+
+def _assert_claims(payload) -> None:
+    modes = {row["mode"]: row for row in payload["overhead"]}
+    assert modes["disabled"]["vs_pre_pr"] <= 1.03, (
+        f"disabled observability regressed past 3%: {modes['disabled']}"
+    )
+    identity = payload["identity"]
+    assert identity["cohorts"] >= 1, f"soak produced no cohorts: {identity}"
+    assert identity["identity_violations"] == 0, (
+        f"stage sums diverged from e2e: {identity}"
+    )
+    assert identity["scrape_status"] == 200, f"mid-soak scrape failed: {identity}"
+    assert identity["scrape_stage_samples"] >= 1, (
+        f"scrape saw no stage histograms: {identity}"
+    )
+    crash = payload["crash"]
+    assert crash["crashed"], f"fault injection never fired: {crash}"
+    assert crash["dump_reason"] == "crash", f"wrong dump reason: {crash}"
+    assert crash["flight_records"] >= 1, f"empty flight dump: {crash}"
+    assert crash["explain_exit"] == 0, f"explain --flight failed: {crash}"
+
+
+def test_e22_report(benchmark):
+    text = benchmark.pedantic(lambda: run_experiment(quick=True), rounds=1, iterations=1)
+    print(text)
+    assert "E22" in text and "E22b" in text and "E22c" in text
+    _assert_claims(json.loads(JSON_PATH.read_text(encoding="utf-8")))
+
+
+def check_claim() -> None:
+    """Assert the recorded attribution claims (CI gate)."""
+    payload = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+    _assert_claims(payload)
+    modes = {row["mode"]: row for row in payload["overhead"]}
+    identity = payload["identity"]
+    print(
+        f"claim holds: disabled path at {modes['disabled']['vs_pre_pr']}x pre-PR, "
+        f"{identity['cohorts']} cohorts all satisfy stage-sum == e2e "
+        f"(worst rel err {identity['worst_rel_error']}), "
+        f"crash dump verdict: {payload['crash']['verdict']!r}"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke configuration for CI",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit nonzero) when a recorded claim does not hold",
+    )
+    args = parser.parse_args()
+    print(run_experiment(quick=args.quick))
+    if args.check:
+        check_claim()
+    sys.exit(0)

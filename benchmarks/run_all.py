@@ -40,6 +40,7 @@ EXPERIMENTS = [
     ("e19", "bench_e19_equality_index"),
     ("e20", "bench_e20_speculative"),
     ("e21", "bench_e21_ingest_soak"),
+    ("e22", "bench_e22_latency_attribution"),
 ]
 
 

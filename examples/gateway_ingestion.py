@@ -16,9 +16,18 @@ The operational drill docs/operations.md points at:
    clients ride through on backoff;
 4. check the sealed result set against the offline oracle: exactly-once
    admission means the union of matches delivered by both incarnations
-   equals the uninterrupted run — nothing lost, nothing doubled.
+   equals the uninterrupted run — nothing lost, nothing doubled;
+5. read the black box: the crashed incarnation dumped a flight
+   recording (``flight.jsonl``) on its way down, scrape the restarted
+   gateway's live telemetry endpoints, and name the proximate stall
+   with the same analysis ``repro explain --flight`` runs.
+
+``--keep DIR`` runs the drill in DIR instead of a temp directory so
+the flight dump survives for artifact upload (CI does this).
 """
 
+import argparse
+import json
 import tempfile
 import threading
 import time
@@ -37,6 +46,9 @@ from repro.ingest import (
     StreamSchema,
     serve_in_thread,
 )
+from repro.obs import MetricsRegistry
+from repro.obs.flight import FlightRecorder, analyze_flight, load_flight
+from repro.obs.httpserv import http_get
 
 QUERY = "PATTERN SEQ(ORDER o, SHIP s) WHERE o.sku == s.sku WITHIN 40"
 PAIRS_PER_SOURCE = 40
@@ -60,6 +72,7 @@ def build_gateway(directory: Path, port: int = 0, fault=None) -> IngestGateway:
         port=port,
         liveness_timeout=30.0,
         dedupe_window=4096,
+        telemetry_port=0,  # sidecar on an ephemeral port
     )
     pattern = parse(QUERY)
     # K must cover the occurrence-time skew between racing sources.
@@ -68,6 +81,8 @@ def build_gateway(directory: Path, port: int = 0, fault=None) -> IngestGateway:
         config,
         directory=str(directory),
         fault=fault,
+        metrics=MetricsRegistry(),
+        flight=FlightRecorder(),
     )
 
 
@@ -89,91 +104,136 @@ def oracle_truth(schema: StreamSchema):
     return OfflineOracle(parse(QUERY)).evaluate_set(events)
 
 
+def run_drill(directory: Path) -> None:
+    # Crash the gateway after the 60th WAL element: mid-ingest, with
+    # every client still holding unacked frames in flight.
+    first = build_gateway(directory, fault=FaultInjector(crash_at=[60]))
+    handle = serve_in_thread(first)
+    port = handle.port
+    print(f"gateway listening on 127.0.0.1:{port} (WAL in {directory.name}/)")
+
+    restarted = {}
+
+    def watchdog():
+        while not first.crashed:
+            time.sleep(0.005)
+        handle.stop(seal=False)
+        second = build_gateway(directory, port=port)
+        print(
+            f"gateway crashed and restarted on :{port} — "
+            f"replayed {second.recovered_frames} WAL frames"
+        )
+        restarted["gateway"] = second
+        restarted["handle"] = serve_in_thread(second)
+
+    supervisor = threading.Thread(target=watchdog, daemon=True)
+    supervisor.start()
+
+    # warehouse-3's client is deliberately unreliable: it tears the
+    # connection after frame 10 (acks lost, must resend) and sends
+    # frame 5 twice.  Admission absorbs both.
+    plans = {
+        "warehouse-3": ClientFaultPlan(torn_after_send=[10], duplicate_send=[5])
+    }
+    # Connect every client before any of them streams: the hello
+    # registers each source in the min-merge, so no source can race
+    # punctuation past a sibling that has not spoken yet.
+    clients = {
+        name: IngestClient(
+            "127.0.0.1", port, name, "shipments",
+            window=16, fault_plan=plans.get(name),
+        )
+        for name in SOURCES
+    }
+    for client in clients.values():
+        client.connect()
+    reports = {}
+
+    def drive(index: int, name: str):
+        client = clients[name]
+        for etype, attrs in frames_for(index):
+            client.send(etype, dict(attrs))
+        reports[name] = client.close()
+
+    threads = [
+        threading.Thread(target=drive, args=(index, name))
+        for index, name in enumerate(SOURCES)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    supervisor.join(timeout=10.0)
+    second = restarted["gateway"]
+
+    # Scrape the restarted incarnation's live telemetry before it
+    # stops: the sidecar shares the gateway's loop, so a scrape never
+    # blocks admission.
+    t_port = second.telemetry_port
+    __, health_body = http_get("127.0.0.1", t_port, "/healthz")
+    health = json.loads(health_body)
+    __, metrics_body = http_get("127.0.0.1", t_port, "/metrics")
+    stage_samples = sum(
+        1 for line in metrics_body.splitlines()
+        if line.startswith("repro_stage_seconds")
+    )
+    print(
+        f"telemetry on :{t_port} — status={health['status']} "
+        f"watermark={health['watermark']} "
+        f"({stage_samples} stage-latency samples on /metrics)"
+    )
+    restarted["handle"].stop(seal=True)
+
+    total = len(SOURCES) * 2 * PAIRS_PER_SOURCE
+    for name in SOURCES:
+        report = reports[name]
+        print(
+            f"  {name}: admitted={report.admitted} duplicates={report.duplicates} "
+            f"reconnects={report.reconnects} resends={report.resends}"
+        )
+    admitted = second.recovered_frames + second.admission.admitted
+    print(f"distinct frames through admission: {admitted}/{total}")
+
+    # Exactly-once delivery: results() is per-incarnation (the
+    # delivery log suppresses matches the first gateway already
+    # delivered), so the statement is about the union.
+    before = {m.key() for m in first.results()}
+    after = {m.key() for m in second.results()}
+    truth = oracle_truth(build_schema())
+    print(f"matches before crash: {len(before)}, after recovery: {len(after)}")
+    print(f"delivered twice: {len(before & after)} (want 0)")
+    print(f"union equals oracle truth: {before | after == truth} "
+          f"({len(before | after)}/{len(truth)})")
+
+    # The black box: the crashed incarnation dumped its flight ring on
+    # the way down; this is the same analysis `repro explain --flight`
+    # runs post mortem.
+    dump = directory / "flight.jsonl"
+    header, records = load_flight(dump.read_text(encoding="utf-8"))
+    report = analyze_flight(header, records)
+    print(
+        f"flight recording: {len(records)} records "
+        f"(reason: {header['reason']}, seq {header['seq']})"
+    )
+    print(f"proximate stall: {report.verdict} — {report.cause}")
+    print(f"inspect it yourself: python -m repro explain --flight {dump}")
+
+
 def main() -> None:
-    with tempfile.TemporaryDirectory() as tmp:
-        directory = Path(tmp)
-        # Crash the gateway after the 60th WAL element: mid-ingest, with
-        # every client still holding unacked frames in flight.
-        first = build_gateway(directory, fault=FaultInjector(crash_at=[60]))
-        handle = serve_in_thread(first)
-        port = handle.port
-        print(f"gateway listening on 127.0.0.1:{port} (WAL in {directory.name}/)")
-
-        restarted = {}
-
-        def watchdog():
-            while not first.crashed:
-                time.sleep(0.005)
-            handle.stop(seal=False)
-            second = build_gateway(directory, port=port)
-            print(
-                f"gateway crashed and restarted on :{port} — "
-                f"replayed {second.recovered_frames} WAL frames"
-            )
-            restarted["gateway"] = second
-            restarted["handle"] = serve_in_thread(second)
-
-        supervisor = threading.Thread(target=watchdog, daemon=True)
-        supervisor.start()
-
-        # warehouse-3's client is deliberately unreliable: it tears the
-        # connection after frame 10 (acks lost, must resend) and sends
-        # frame 5 twice.  Admission absorbs both.
-        plans = {
-            "warehouse-3": ClientFaultPlan(torn_after_send=[10], duplicate_send=[5])
-        }
-        # Connect every client before any of them streams: the hello
-        # registers each source in the min-merge, so no source can race
-        # punctuation past a sibling that has not spoken yet.
-        clients = {
-            name: IngestClient(
-                "127.0.0.1", port, name, "shipments",
-                window=16, fault_plan=plans.get(name),
-            )
-            for name in SOURCES
-        }
-        for client in clients.values():
-            client.connect()
-        reports = {}
-
-        def drive(index: int, name: str):
-            client = clients[name]
-            for etype, attrs in frames_for(index):
-                client.send(etype, dict(attrs))
-            reports[name] = client.close()
-
-        threads = [
-            threading.Thread(target=drive, args=(index, name))
-            for index, name in enumerate(SOURCES)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        supervisor.join(timeout=10.0)
-        restarted["handle"].stop(seal=True)
-        second = restarted["gateway"]
-
-        total = len(SOURCES) * 2 * PAIRS_PER_SOURCE
-        for name in SOURCES:
-            report = reports[name]
-            print(
-                f"  {name}: admitted={report.admitted} duplicates={report.duplicates} "
-                f"reconnects={report.reconnects} resends={report.resends}"
-            )
-        admitted = second.recovered_frames + second.admission.admitted
-        print(f"distinct frames through admission: {admitted}/{total}")
-
-        # Exactly-once delivery: results() is per-incarnation (the
-        # delivery log suppresses matches the first gateway already
-        # delivered), so the statement is about the union.
-        before = {m.key() for m in first.results()}
-        after = {m.key() for m in second.results()}
-        truth = oracle_truth(build_schema())
-        print(f"matches before crash: {len(before)}, after recovery: {len(after)}")
-        print(f"delivered twice: {len(before & after)} (want 0)")
-        print(f"union equals oracle truth: {before | after == truth} "
-              f"({len(before | after)}/{len(truth)})")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--keep", metavar="DIR", default=None,
+        help="run in DIR and keep the WAL + flight dump (CI artifacts)",
+    )
+    args = parser.parse_args()
+    if args.keep:
+        directory = Path(args.keep)
+        directory.mkdir(parents=True, exist_ok=True)
+        run_drill(directory)
+        print(f"kept WAL and flight dump in {directory}/")
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            run_drill(Path(tmp))
 
 
 if __name__ == "__main__":

@@ -209,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
              "crashes, recoveries) from DIR/gateway.jsonl; may be used "
              "alone or alongside a query replay",
     )
+    explain.add_argument(
+        "--flight", default=None, metavar="DUMP",
+        help="post-mortem a flight-recorder dump (flight.jsonl): "
+             "reconstruct the last per-source timelines and name the "
+             "proximate stall; may be used alone or with --gateway",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -243,6 +249,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(throttle hints, busy refusals) as state approaches N",
     )
     serve.add_argument("--checkpoint-every", type=int, default=256, metavar="N")
+    serve.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="P",
+        help="serve /metrics, /healthz, /sources on this port "
+             "(0 = ephemeral, printed at start); also enables the "
+             "metrics registry and stage-latency spans",
+    )
+    serve.add_argument(
+        "--flight", action="store_true",
+        help="keep a crash flight recorder; dumps DIR/flight.jsonl on "
+             "crash or SIGTERM (requires --dir for the dump)",
+    )
 
     send = commands.add_parser(
         "send", help="replay a trace file through the retrying gateway client"
@@ -319,7 +336,14 @@ def _command_run(args: argparse.Namespace) -> int:
             engine.enable_observability(metrics=MetricsRegistry())
         return engine
 
-    periodic_lines = ""
+    metrics_writer = None
+    metrics_sink = None
+    if args.metrics_out is not None:
+        from repro.obs.export import MetricsJsonWriter
+
+        metrics_sink = open(args.metrics_out, "w", encoding="utf-8")
+        metrics_writer = MetricsJsonWriter(metrics_sink)
+
     resilient = args.checkpoint_every is not None or args.crash_at is not None
     if resilient:
         if args.checkpoint_dir is None:
@@ -355,9 +379,9 @@ def _command_run(args: argparse.Namespace) -> int:
             )
     else:
         engine = build_engine()
-        if args.metrics_out is not None and args.metrics_every > 0:
-            periodic_lines = _feed_with_periodic_metrics(
-                engine, elements, args.metrics_every
+        if metrics_writer is not None and args.metrics_every > 0:
+            _feed_with_periodic_metrics(
+                engine, elements, args.metrics_every, metrics_writer
             )
         elif args.batch_size is None:
             engine.feed_many(elements)
@@ -369,8 +393,10 @@ def _command_run(args: argparse.Namespace) -> int:
                 engine.feed_batch(elements[lo : lo + args.batch_size])
         engine.close()
 
-    if args.metrics_out is not None:
-        _export_metrics(engine, len(elements), args.metrics_out, periodic_lines)
+    if metrics_writer is not None:
+        _export_metrics(
+            engine, len(elements), args.metrics_out, metrics_writer, metrics_sink
+        )
 
     from repro.core.event import Event
 
@@ -420,41 +446,36 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _feed_with_periodic_metrics(engine, elements, every: int) -> str:
-    """Per-element feed capturing a JSON-lines metrics snapshot every *every*.
+def _feed_with_periodic_metrics(engine, elements, every: int, series) -> None:
+    """Per-element feed writing a JSON-lines metrics snapshot every *every*.
 
-    Returns the captured lines; the caller appends the final post-close
-    snapshot and writes the file in one place.
+    The final boundary is deliberately left to :meth:`MetricsJsonWriter.
+    close`: the last snapshot of the series must be the post-close
+    registry (it includes seal-time emissions), whether or not the trace
+    length lands on the cadence — and a run whose length is NOT a
+    multiple of *every* still gets its trailing partial interval.
     """
-    import io
-
-    from repro.obs.export import MetricsJsonWriter
-
-    sink = io.StringIO()
-    writer = MetricsJsonWriter(sink)
+    total = len(elements)
     for index, element in enumerate(elements, start=1):
         engine.feed(element)
-        if index % every == 0:
-            writer.write(index, engine.observability.registry)
-    return sink.getvalue()
+        if index % every == 0 and index < total:
+            series.write(index, engine.observability.registry)
 
 
-def _export_metrics(engine, total: int, out_path: str, periodic_lines: str) -> None:
-    """Write the JSON-lines series (periodic + final) and the Prometheus text."""
-    import io
-
-    from repro.obs.export import MetricsJsonWriter, render_prometheus
+def _export_metrics(engine, total: int, out_path: str, series, sink) -> None:
+    """Seal the JSON-lines series and write the Prometheus exposition."""
+    from repro.obs.export import render_prometheus
 
     registry = engine.observability.registry
-    sink = io.StringIO()
-    MetricsJsonWriter(sink).write(total, registry)
-    with open(out_path, "w", encoding="utf-8") as handle:
-        handle.write(periodic_lines + sink.getvalue())
+    series.close(total, registry)
+    sink.close()
     prom_path = out_path + ".prom"
     with open(prom_path, "w", encoding="utf-8") as handle:
         handle.write(render_prometheus(registry))
-    lines = periodic_lines.count("\n") + 1
-    print(f"metrics: {lines} JSON snapshot(s) -> {out_path}; exposition -> {prom_path}")
+    print(
+        f"metrics: {series.written} JSON snapshot(s) -> {out_path}; "
+        f"exposition -> {prom_path}"
+    )
 
 
 def _print_gateway_journal(directory: str) -> int:
@@ -503,16 +524,43 @@ def _print_gateway_journal(directory: str) -> int:
     return 0
 
 
+def _print_flight_dump(path_arg: str) -> int:
+    """Post-mortem a flight.jsonl dump; 0 when it exists and parses."""
+    from pathlib import Path
+
+    from repro.obs.flight import load_flight, render_flight_lines
+
+    path = Path(path_arg)
+    if path.is_dir():
+        path = path / "flight.jsonl"
+    if not path.exists():
+        print(f"no flight dump at {path}")
+        return 1
+    header, records = load_flight(path.read_text(encoding="utf-8"))
+    print("\n".join(render_flight_lines(header, records)))
+    return 0
+
+
 def _command_explain(args: argparse.Namespace) -> int:
     from repro.obs import explain as explain_mod
 
+    sidecar_status = None
+    if args.flight is not None:
+        sidecar_status = _print_flight_dump(args.flight)
     if args.gateway is not None:
-        status = _print_gateway_journal(args.gateway)
-        if args.query is None or args.trace is None:
-            return status
-        print()
+        if sidecar_status is not None:
+            print()
+        journal_status = _print_gateway_journal(args.gateway)
+        sidecar_status = max(sidecar_status or 0, journal_status)
     if args.query is None or args.trace is None:
-        raise ReproError("explain needs --query and --trace (or --gateway DIR)")
+        if sidecar_status is not None:
+            return sidecar_status
+        raise ReproError(
+            "explain needs --query and --trace "
+            "(or --gateway DIR / --flight DUMP)"
+        )
+    if sidecar_status is not None:
+        print()
     pattern = parse(args.query)
     elements = load_trace(args.trace)
     engine = make_engine(
@@ -599,8 +647,21 @@ def _command_serve(args: argparse.Namespace) -> int:
         dedupe_window=args.dedupe_window,
         liveness_timeout=args.liveness_timeout,
         checkpoint_every=args.checkpoint_every,
+        telemetry_port=args.telemetry_port,
     )
-    gateway = IngestGateway(build_engine, config, directory=args.dir)
+    metrics = None
+    if args.telemetry_port is not None:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    flight = None
+    if args.flight:
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder()
+    gateway = IngestGateway(
+        build_engine, config, directory=args.dir, metrics=metrics, flight=flight
+    )
 
     async def serve() -> None:
         await gateway.start()
@@ -608,10 +669,15 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"gateway: stream {schema.name!r} on {config.host}:{gateway.port}"
             + (f", durable in {args.dir}" if args.dir else " (no durability dir)")
         )
+        if config.telemetry_port is not None:
+            print(
+                f"telemetry: http://{config.host}:{gateway.telemetry_port}"
+                "/metrics /healthz /sources"
+            )
         if gateway.recovered_frames:
             print(f"recovered: {gateway.recovered_frames} frames replayed from the WAL")
         try:
-            while not gateway.crashed:
+            while not gateway.crashed and not gateway.terminated:
                 await asyncio.sleep(0.25)
         finally:
             # Reached on Ctrl-C (asyncio.run cancels us) or crash.

@@ -43,7 +43,7 @@ import os
 import pickle
 from json.encoder import encode_basestring_ascii as _escape_json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.core.engine import Engine
 from repro.core.errors import ConfigurationError, RecoveryError
@@ -249,6 +249,14 @@ class ResilientRunner:
         self.recovered = False
         self.replayed_elements = 0
         self.checkpoints_written = 0
+        #: Optional ``(clock, report)`` pair installed by an operator
+        #: layer (the ingest gateway's latency attribution): when set,
+        #: :meth:`sync` times the WAL flush with *clock* and hands the
+        #: duration in seconds to *report*.  None on the default path,
+        #: which stays wall-clock free and byte-identical in behaviour.
+        self.sync_probe: Optional[
+            Tuple[Callable[[], float], Callable[[float], None]]
+        ] = None
         # Runner-level metrics live in the engine's registry (when one is
         # attached), so they checkpoint/restore with the engine state.
         # Registered before _recover so restore finds live handles.
@@ -476,7 +484,14 @@ class ResilientRunner:
         frame — an acked element will never be resent — so it must sync
         between feeding a group of frames and acknowledging them.
         """
+        probe = self.sync_probe
+        if probe is None:
+            self._flush_wal()
+            return
+        clock, report = probe
+        started = clock()
         self._flush_wal()
+        report(clock() - started)
 
     def _delivered_append(self, record: Dict[str, Any]) -> None:
         # WAL first: a delivery record must never be durable while the

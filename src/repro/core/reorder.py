@@ -137,6 +137,19 @@ class ReorderingEngine(Engine):
             return self._spill.memory_size()
         return len(self._buffer)
 
+    def oldest_buffered_ts(self) -> Optional[int]:
+        """Occurrence time of the oldest event the buffer is holding.
+
+        The reorder-hold probe for latency attribution: the distance
+        between this and the merged watermark is *why* an event is still
+        waiting.  None when nothing is buffered (or when the spill tier
+        owns the buffer — its segments are sorted on disk, and peeking
+        them would do I/O on a hot path).
+        """
+        if self._spill is not None or not self._buffer:
+            return None
+        return self._buffer[0][0]
+
     # -- checkpoint / restore -----------------------------------------------------
 
     def _snapshot_config(self) -> dict:

@@ -196,6 +196,11 @@ class AdmissionController:
         """Per-source accounting (zeros for a never-seen source)."""
         return self._sources.get(source, SourceAdmission(self.window))
 
+    def window_occupancy(self, source: str) -> int:
+        """Ids currently held in *source*'s dedupe window (telemetry)."""
+        state = self._sources.get(source)
+        return len(state.window) if state is not None else 0
+
     @property
     def admitted(self) -> int:
         return sum(s.admitted for s in self._sources.values())

@@ -38,6 +38,7 @@ from repro.core.errors import ConfigurationError, ReproError
 from repro.ingest.backoff import BackoffPolicy
 
 from repro.ingest.server import PROTOCOL_VERSION
+from repro.obs.span import SPAN_FIELD, mint_span
 
 
 class ClientFaultPlan:
@@ -342,6 +343,11 @@ class IngestClient:
         if resend:
             self.report.resends += 1
         pending.sent_at = self._clock()
+        if pending.frame.get("op") == "event":
+            # Span context rides the wire: re-stamped on every
+            # (re)transmission so the gateway's transit stage measures
+            # the delivery that actually arrived, not the first try.
+            pending.frame[SPAN_FIELD] = mint_span(pending.sent_at)
         try:
             self._write_line(pending.frame)
         except (ConnectionError, OSError, socket.timeout):

@@ -164,6 +164,18 @@ class LivenessTracker:
     def merged_watermark(self) -> int:
         return self.watermarks.merged()
 
+    def source_marks(self) -> Dict[str, int]:
+        """Per-source watermark marks, sorted by source (telemetry)."""
+        return {
+            source: self.watermarks.mark(source) for source in self.sources()
+        }
+
+    def fenced_map(self) -> Dict[str, bool]:
+        """Which known sources are fenced out of the merge (telemetry)."""
+        return {
+            source: self.watermarks.is_fenced(source) for source in self.sources()
+        }
+
     def __repr__(self) -> str:
         return (
             f"LivenessTracker(timeout={self.timeout}, "

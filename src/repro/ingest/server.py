@@ -52,10 +52,11 @@ from __future__ import annotations
 import asyncio
 import json
 import queue
+import signal
 import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Set, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.errors import ConfigurationError, ReproError
 from repro.core.event import Event, Punctuation
@@ -65,9 +66,14 @@ from repro.ingest.admission import AdmissionController, AdmissionOutcome
 from repro.ingest.liveness import LivenessTracker, SourceStatus, Transition
 from repro.ingest.schema import StreamSchema
 from repro.obs import trace as stages
+from repro.obs.export import render_prometheus
+from repro.obs.flight import FlightRecorder
+from repro.obs.httpserv import Route, TelemetryServer
+from repro.obs.span import SPAN_FIELD, SourceLagPanel, SpanTracker, span_origin
 
 PROTOCOL_VERSION = 1
 JOURNAL_NAME = "gateway.jsonl"
+FLIGHT_NAME = "flight.jsonl"
 
 
 class GatewayConfig:
@@ -94,6 +100,11 @@ class GatewayConfig:
         Seconds the ``busy`` refusal tells clients to wait.
     checkpoint_every:
         Runner checkpoint interval in WAL elements.
+    telemetry_port:
+        When not None, an HTTP telemetry sidecar
+        (:class:`~repro.obs.httpserv.TelemetryServer`) listens on this
+        port (0 = ephemeral) sharing the gateway's event loop, serving
+        ``/metrics``, ``/healthz`` and ``/sources``.
     """
 
     __slots__ = (
@@ -107,6 +118,7 @@ class GatewayConfig:
         "hard_pressure",
         "retry_after",
         "checkpoint_every",
+        "telemetry_port",
     )
 
     def __init__(
@@ -121,6 +133,7 @@ class GatewayConfig:
         hard_pressure: float = 0.95,
         retry_after: float = 0.05,
         checkpoint_every: int = 256,
+        telemetry_port: Optional[int] = None,
     ):
         if not isinstance(schema, StreamSchema):
             raise ConfigurationError(f"schema must be a StreamSchema, got {schema!r}")
@@ -153,6 +166,7 @@ class GatewayConfig:
         self.hard_pressure = float(hard_pressure)
         self.retry_after = float(retry_after)
         self.checkpoint_every = checkpoint_every
+        self.telemetry_port = telemetry_port
 
 
 class _DirectRunner:
@@ -195,6 +209,17 @@ class _DirectRunner:
         return self._seq
 
 
+class _Truncate:
+    """Queue marker: drop queued lines and truncate the file first.
+
+    Lets the flight-recorder dump *replace* ``flight.jsonl`` (a new dump
+    supersedes the previous one) while reusing the off-loop writer — the
+    dump still never blocks the event loop on disk I/O (rule R007).
+    """
+
+    __slots__ = ()
+
+
 class _JournalWriter:
     """Off-loop journal appender: a queue drained by a daemon thread.
 
@@ -217,7 +242,7 @@ class _JournalWriter:
     def __init__(self, path: Path):
         self._path = path
         #: lines to append; Events are flush barriers; None stops the thread.
-        self._queue: "queue.Queue[Union[str, threading.Event, None]]" = (
+        self._queue: "queue.Queue[Union[str, threading.Event, _Truncate, None]]" = (
             queue.Queue()
         )
         self._thread: Optional[threading.Thread] = None
@@ -226,6 +251,11 @@ class _JournalWriter:
     def append(self, line: str) -> None:
         self._ensure_thread()
         self._queue.put(line)
+
+    def truncate(self) -> None:
+        """Start the file over: queued-but-unwritten lines are dropped."""
+        self._ensure_thread()
+        self._queue.put(_Truncate())
 
     def flush(self) -> None:
         """Block until every line enqueued before this call is on disk."""
@@ -261,9 +291,16 @@ class _JournalWriter:
                     batch.append(self._queue.get_nowait())
                 except queue.Empty:
                     break
-            lines = [entry for entry in batch if isinstance(entry, str)]
-            if lines:
-                with self._path.open("a", encoding="utf-8") as handle:
+            mode = "a"
+            lines: List[str] = []
+            for entry in batch:
+                if isinstance(entry, str):
+                    lines.append(entry)
+                elif isinstance(entry, _Truncate):
+                    mode = "w"
+                    lines = []
+            if lines or mode == "w":
+                with self._path.open(mode, encoding="utf-8") as handle:
                     handle.writelines(lines)
             parked = False
             for entry in batch:
@@ -297,8 +334,14 @@ class IngestGateway:
     tracer / metrics:
         Optional observability attached to the engine; the gateway adds
         its own counters (admission outcomes, busy refusals, liveness
-        transitions) and records ``source_degraded`` /
-        ``source_recovered`` spans.
+        transitions), records ``source_degraded`` /
+        ``source_recovered`` spans, and — with *metrics* attached —
+        stage-latency attribution (:class:`~repro.obs.span.SpanTracker`)
+        plus per-source watermark/lag/fencing gauges.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`: a bounded
+        ring of recent trace records dumped to ``flight.jsonl`` (in the
+        durability directory) on crash or SIGTERM.
     clock:
         Wall clock used by the transport layer only (injectable for
         tests); ``time.monotonic`` by default.
@@ -312,6 +355,7 @@ class IngestGateway:
         fault: Optional[Any] = None,
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        flight: Optional[FlightRecorder] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.config = config
@@ -384,10 +428,33 @@ class IngestGateway:
         self.throttled_total = 0
         self.crashed = False
         self.closed = False
+        self.terminated = False
         self._server: Optional[asyncio.base_events.Server] = None
         self._tick_task: Optional[asyncio.Task] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._bound_port: Optional[int] = None
+        self._telemetry: Optional[TelemetryServer] = None
+        # Latency attribution and the flight recorder ride on the same
+        # enablement story as engine observability: None means every hot
+        # path pays exactly one attribute check (priced by E22).
+        self._spans: Optional[SpanTracker] = (
+            SpanTracker(metrics) if metrics is not None else None
+        )
+        self._lag_panel: Optional[SourceLagPanel] = (
+            SourceLagPanel(metrics) if metrics is not None else None
+        )
+        self._flight = flight
+        self._flight_writer: Optional[_JournalWriter] = (
+            _JournalWriter(self.directory / FLIGHT_NAME)
+            if flight is not None and self.directory is not None
+            else None
+        )
+        self._last_shed = 0
+        self._last_retractions = 0
+        if flight is not None and isinstance(self.runner, ResilientRunner):
+            # Time each group commit off the runner's own sync point so
+            # the flight timeline can name a slow WAL flush directly.
+            self.runner.sync_probe = (self._clock, self._note_sync_duration)
         if metrics is not None:
             self._c_admitted = metrics.counter(
                 "repro_ingest_admitted_total", "frames admitted and fed"
@@ -444,7 +511,12 @@ class IngestGateway:
         return shed.pressure(self.engine.state_size())
 
     def admit_frame(
-        self, source: str, etype: Any, attrs: Any, now: Optional[float] = None
+        self,
+        source: str,
+        etype: Any,
+        attrs: Any,
+        now: Optional[float] = None,
+        span: Any = None,
     ) -> Dict[str, Any]:
         """Decide and apply one event frame; returns the ack payload.
 
@@ -454,17 +526,30 @@ class IngestGateway:
         point fires (the caller owns crash semantics).  The frame is NOT
         durable until :meth:`sync_acks` — transports must sync before
         acking admitted frames.
+
+        *span* is the client-minted span context from the wire frame
+        (``{"t0": <monotonic seconds>}``); it only feeds latency
+        attribution and never changes the decision.
         """
         if self.crashed:
             raise ReproError("gateway crashed; rebuild it to recover")
         if now is None:
             now = self._clock()
+        spans = self._spans
+        t_start = self._clock() if spans is not None else 0.0
         self._remember_source(source)
         pressure = self.pressure()
         if pressure >= self.config.hard_pressure:
             self.busy_total += 1
             if self._c_busy is not None:
                 self._c_busy.inc()
+            if self._flight is not None:
+                self._flight.note(now, "busy", source, int(pressure * 10000))
+            if spans is not None:
+                t_admit = self._clock()
+                spans.note_frame(
+                    source, "busy", t_start, t_admit, t_admit, span_origin(span)
+                )
             return {
                 "status": "busy",
                 "retry_after": self.config.retry_after,
@@ -479,6 +564,16 @@ class IngestGateway:
             transition = self.liveness.connect(source, now)
             if transition is not None:
                 self._note_transition(transition)
+            if self._flight is not None:
+                self._flight.note(
+                    now, "quarantine", source, detail=str(admission.reason)[:60]
+                )
+            if spans is not None:
+                t_admit = self._clock()
+                spans.note_frame(
+                    source, "quarantined", t_start, t_admit, t_admit,
+                    span_origin(span),
+                )
             return {"status": "quarantined", "reason": admission.reason}
         if admission.outcome is AdmissionOutcome.DUPLICATE:
             if self._c_duplicates is not None:
@@ -486,11 +581,21 @@ class IngestGateway:
             transition = self.liveness.connect(source, now)
             if transition is not None:
                 self._note_transition(transition)
+            if self._flight is not None:
+                self._flight.note(now, "dup", source)
+            if spans is not None:
+                t_admit = self._clock()
+                spans.note_frame(
+                    source, "duplicate", t_start, t_admit, t_admit,
+                    span_origin(span),
+                )
             return {"status": "duplicate"}
         event = admission.event
         transition = self.liveness.observe(source, event.ts, now)
         if transition is not None:
             self._note_transition(transition)
+        t_admit = self._clock() if spans is not None else 0.0
+        matches_before = len(self.runner.matches) if spans is not None else 0
         try:
             self.runner.feed(event)
             self._advance_watermark()
@@ -499,6 +604,15 @@ class IngestGateway:
             raise
         if self._c_admitted is not None:
             self._c_admitted.inc()
+        if self._flight is not None:
+            self._flight.note(now, "admit", source, value=event.ts)
+        if spans is not None:
+            t_feed = self._clock()
+            spans.note_frame(
+                source, "admitted", t_start, t_admit, t_feed,
+                span_origin(span), event.eid,
+            )
+            self._note_emitted_since(matches_before, t_feed)
         ack: Dict[str, Any] = {"status": "admitted"}
         if pressure >= self.config.soft_pressure:
             # Soft band: admit, but ask the client to slow down
@@ -578,8 +692,61 @@ class IngestGateway:
         punctuation = self.liveness.watermarks.advance()
         if punctuation is not None:
             self.runner.feed(punctuation)
+        if (
+            self._g_watermark is None
+            and self._lag_panel is None
+            and self._flight is None
+        ):
+            # Unobserved gateways skip the merge entirely: min-merging
+            # the source marks is the one non-trivial cost here.
+            return
+        merged = self.liveness.merged_watermark()
         if self._g_watermark is not None:
-            self._g_watermark.set(self.liveness.merged_watermark())
+            self._g_watermark.set(merged)
+        if self._lag_panel is not None:
+            self._lag_panel.update(
+                self.liveness.source_marks(), self.liveness.fenced_map(), merged
+            )
+        if self._flight is not None and punctuation is not None:
+            now = self._clock()
+            self._flight.note(now, "watermark", value=merged)
+            self._note_engine_pressure(now)
+
+    def _note_engine_pressure(self, now: float) -> None:
+        """Flight records for reorder holds, sheds, and retractions.
+
+        Read at watermark moves (the cadence at which these quantities
+        change meaningfully) via getattr so plain engines — no reorder
+        wrapper, no shedding, no speculation — cost nothing.
+        """
+        flight = self._flight
+        if flight is None:
+            return
+        engine = self.engine
+        depth_fn = getattr(engine, "buffer_size", None)
+        oldest_fn = getattr(engine, "oldest_buffered_ts", None)
+        if callable(depth_fn):
+            depth = depth_fn()
+            if depth:
+                oldest = oldest_fn() if callable(oldest_fn) else None
+                flight.note(
+                    now, "hold", value=depth,
+                    detail="" if oldest is None else str(oldest),
+                )
+        stats = getattr(engine, "stats", None)
+        shed = getattr(stats, "events_shed", 0) if stats is not None else 0
+        if shed > self._last_shed:
+            flight.note(now, "shed", value=shed)
+            self._last_shed = shed
+        speculation = getattr(engine, "speculation", None)
+        if speculation is None:
+            inner = getattr(engine, "inner", None)
+            speculation = getattr(inner, "speculation", None)
+        if speculation is not None:
+            retractions = len(speculation.retractions)
+            if retractions > self._last_retractions:
+                flight.note(now, "retraction", value=retractions)
+                self._last_retractions = retractions
 
     def _note_transition(self, transition: Transition) -> None:
         stage = (
@@ -601,6 +768,17 @@ class IngestGateway:
             self._c_degraded.inc()
         if self._g_live is not None:
             self._g_live.set(self.liveness.live_count())
+        if self._flight is not None:
+            if transition.status is SourceStatus.DEGRADED:
+                self._flight.note(transition.at, "fence", transition.source)
+            elif transition.status is SourceStatus.LIVE:
+                self._flight.note(transition.at, "unfence", transition.source)
+        if self._lag_panel is not None:
+            self._lag_panel.update(
+                self.liveness.source_marks(),
+                self.liveness.fenced_map(),
+                self.liveness.merged_watermark(),
+            )
         self._journal(
             "transition",
             source=transition.source,
@@ -612,10 +790,59 @@ class IngestGateway:
     def _note_crash(self) -> None:
         self.crashed = True
         self._journal("crash", seq=self.runner.seq)
+        if self._flight is not None:
+            self._flight.note(self._clock(), "crash", value=self.runner.seq)
+            self._dump_flight("crash")
         # The crash record must hit disk before the CrashError propagates:
         # the next incarnation (and the operator) reads the journal to
         # learn the previous one died.
         self.flush_journal()
+
+    def _note_sync_duration(self, seconds: float) -> None:
+        """The runner's sync probe: one group commit took *seconds*."""
+        if self._flight is not None:
+            self._flight.note(
+                self._clock(), "sync", value=int(seconds * 1_000_000)
+            )
+
+    def _note_emitted_since(self, matches_before: int, t_emit: float) -> None:
+        """Close emit-path spans for matches delivered by the last feed."""
+        spans = self._spans
+        if spans is None:
+            return
+        matches = self.runner.matches
+        if len(matches) <= matches_before:
+            return
+        eids: List[int] = []
+        for match in matches[matches_before:]:
+            for event in getattr(match, "events", ()):
+                eid = getattr(event, "eid", None)
+                if eid is not None:
+                    eids.append(eid)
+        if eids:
+            spans.note_emitted(eids, t_emit)
+
+    def _dump_flight(self, reason: str) -> None:
+        if self._flight is None or self._flight_writer is None:
+            return
+        lines = self._flight.dump_lines(
+            reason, meta={"stream": self.schema.name, "seq": self.runner.seq}
+        )
+        # Each dump replaces the previous one: flight.jsonl is "the last
+        # moments", not an append-only log, and a stacked second header
+        # would corrupt the reader.
+        self._flight_writer.truncate()
+        for line in lines:
+            self._flight_writer.append(line + "\n")
+        self._flight_writer.flush()
+
+    def dump_flight(self, reason: str = "manual") -> None:
+        """Write the flight ring to ``flight.jsonl`` now (operator probe).
+
+        Crash and SIGTERM paths dump on their own; this is for drills
+        and debugging a live-but-suspect gateway.
+        """
+        self._dump_flight(reason)
 
     def _journal(self, kind: str, **fields: Any) -> None:
         if self._journal_writer is None:
@@ -701,8 +928,80 @@ class IngestGateway:
         self.closed = True
         matches = self.runner.close()
         self._journal("seal", matches=len(self.runner.matches))
+        if self._flight is not None:
+            self._flight.note(
+                self._clock(), "seal", value=len(self.runner.matches)
+            )
         self.flush_journal()
         return matches
+
+    # -- telemetry sidecar -------------------------------------------------------------
+
+    @property
+    def telemetry_port(self) -> int:
+        """The telemetry sidecar's bound port (raises when disabled)."""
+        if self._telemetry is None:
+            raise ReproError(
+                "telemetry is disabled; pass GatewayConfig(telemetry_port=0)"
+            )
+        return self._telemetry.port
+
+    def _telemetry_routes(self) -> Dict[str, Route]:
+        return {
+            "/metrics": self._route_metrics,
+            "/healthz": self._route_healthz,
+            "/sources": self._route_sources,
+        }
+
+    def _route_metrics(self) -> Tuple[int, str, str]:
+        if self.registry is None:
+            return 404, "text/plain", "metrics are disabled on this gateway\n"
+        return 200, "text/plain; version=0.0.4", render_prometheus(self.registry)
+
+    def _route_healthz(self) -> Tuple[int, str, str]:
+        pressure = self.pressure()
+        if pressure >= self.config.hard_pressure:
+            band = "busy"
+        elif pressure >= self.config.soft_pressure:
+            band = "throttle"
+        else:
+            band = "ok"
+        body = {
+            "status": "crashed" if self.crashed else "ok",
+            "pressure": round(pressure, 4),
+            "band": band,
+            "live_sources": self.liveness.live_count(),
+            "watermark": self.liveness.merged_watermark(),
+            "seq": self.runner.seq,
+        }
+        status = 503 if self.crashed else 200
+        return status, "application/json", json.dumps(body, sort_keys=True) + "\n"
+
+    def _route_sources(self) -> Tuple[int, str, str]:
+        marks = self.liveness.source_marks()
+        fenced = self.liveness.fenced_map()
+        top = max(marks.values(), default=0)
+        sources: Dict[str, Any] = {}
+        for source in sorted(set(self.admission.sources()) | set(marks)):
+            status = self.liveness.status_of(source)
+            counts = self.admission.source_counts(source)
+            mark = marks.get(source, 0)
+            sources[source] = {
+                "status": status.value if status is not None else "unknown",
+                "watermark": mark,
+                "lag": max(0, top - mark),
+                "fenced": bool(fenced.get(source)),
+                "admitted": counts.admitted,
+                "duplicates": counts.duplicates,
+                "quarantined": counts.quarantined,
+                "dedupe_window": self.admission.window_occupancy(source),
+            }
+        body = {
+            "stream": self.schema.name,
+            "watermark": self.liveness.merged_watermark(),
+            "sources": sources,
+        }
+        return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
 
     # -- asyncio transport -------------------------------------------------------------
 
@@ -715,7 +1014,31 @@ class IngestGateway:
         )
         self._bound_port = self._server.sockets[0].getsockname()[1]
         self._tick_task = asyncio.get_running_loop().create_task(self._tick_loop())
+        if self.config.telemetry_port is not None:
+            telemetry = TelemetryServer(
+                self.config.host,
+                self.config.telemetry_port,
+                self._telemetry_routes(),
+            )
+            await telemetry.start()
+            self._telemetry = telemetry
+            self._journal("telemetry", port=telemetry.port)
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, self._on_sigterm)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Off-main-thread loops (GatewayHandle) and platforms without
+            # signal support: SIGTERM dumps are a best-effort extra.
+            pass
         self._journal("listen", host=self.config.host, port=self._bound_port)
+
+    def _on_sigterm(self) -> None:
+        """SIGTERM: dump the flight ring and let the serve loop exit."""
+        self.terminated = True
+        if self._flight is not None:
+            self._flight.note(self._clock(), "sigterm", value=self.runner.seq)
+            self._dump_flight("sigterm")
+        self.flush_journal()
 
     async def stop(self, seal: bool = True) -> None:
         """Stop accepting, drop connections, optionally seal the engine.
@@ -737,6 +1060,9 @@ class IngestGateway:
         if server is not None:
             server.close()
             await server.wait_closed()
+        telemetry, self._telemetry = self._telemetry, None
+        if telemetry is not None:
+            await telemetry.stop()
         writers, self._writers = list(self._writers), set()
         for writer in writers:
             writer.close()
@@ -749,6 +1075,8 @@ class IngestGateway:
             self.seal()
         if self._journal_writer is not None:
             self._journal_writer.close()
+        if self._flight_writer is not None:
+            self._flight_writer.close()
 
     async def _tick_loop(self) -> None:
         while True:
@@ -769,6 +1097,9 @@ class IngestGateway:
         server, self._server = self._server, None
         if server is not None:
             server.close()
+        telemetry, self._telemetry = self._telemetry, None
+        if telemetry is not None:
+            telemetry.abort()
         for writer in list(self._writers):
             writer.transport.abort()
         self._writers.clear()
@@ -785,6 +1116,9 @@ class IngestGateway:
                 chunk = await reader.read(65536)
                 if not chunk:
                     break
+                spans = self._spans
+                if spans is not None:
+                    spans.open_cohort(self._clock())
                 buffer += chunk
                 lines = buffer.split(b"\n")
                 buffer = lines.pop()
@@ -819,7 +1153,10 @@ class IngestGateway:
                         continue
                     if op == "event":
                         ack = self.admit_frame(
-                            source, frame.get("etype"), frame.get("attrs")
+                            source,
+                            frame.get("etype"),
+                            frame.get("attrs"),
+                            span=frame.get(SPAN_FIELD),
                         )
                         ack["op"] = "ack"
                         ack["n"] = frame.get("n")
@@ -841,10 +1178,12 @@ class IngestGateway:
                         replies.append(
                             {"op": "error", "reason": f"unknown op {op!r}"}
                         )
+                t_sync_start = self._clock() if spans is not None else 0.0
                 if fed:
                     # The group commit: nothing above is acked until the
                     # WAL tail holding it is flushed.
                     self.sync_acks()
+                t_sync_end = self._clock() if spans is not None else 0.0
                 if replies:
                     writer.write(
                         b"".join(
@@ -853,9 +1192,13 @@ class IngestGateway:
                         )
                     )
                     await writer.drain()
+                if spans is not None:
+                    spans.seal_cohort(t_sync_start, t_sync_end, self._clock())
                 if goodbye:
                     break
         except CrashError:
+            if self._spans is not None:
+                self._spans.drop_cohort()
             self._abort_crashed()
             return
         except ReproError:

@@ -16,6 +16,7 @@ or replay a trace interactively with ``repro explain``.
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS,
+    SECONDS_BUCKETS,
     STATE_BUCKETS,
     TICK_BUCKETS,
     Counter,
@@ -51,10 +52,42 @@ from repro.obs.export import (
     read_metrics_jsonl,
     render_prometheus,
 )
+from repro.obs.span import (
+    ACK_STAGES,
+    SPAN_FIELD,
+    SourceLagPanel,
+    SpanTracker,
+    mint_span,
+    span_origin,
+)
+from repro.obs.flight import (
+    FlightRecord,
+    FlightRecorder,
+    FlightReport,
+    analyze_flight,
+    load_flight,
+    render_flight_lines,
+)
+from repro.obs.httpserv import TelemetryServer, http_get
 
 __all__ = [
+    "ACK_STAGES",
     "ADMITTED",
     "BUFFERED",
+    "FlightRecord",
+    "FlightRecorder",
+    "FlightReport",
+    "SECONDS_BUCKETS",
+    "SPAN_FIELD",
+    "SourceLagPanel",
+    "SpanTracker",
+    "TelemetryServer",
+    "analyze_flight",
+    "http_get",
+    "load_flight",
+    "mint_span",
+    "render_flight_lines",
+    "span_origin",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",

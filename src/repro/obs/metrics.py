@@ -26,7 +26,7 @@ Three properties the rest of the observability layer leans on:
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.metrics.latency import percentile_index
@@ -45,41 +45,78 @@ STATE_BUCKETS: Tuple[int, ...] = (
     0, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
 )
 
+#: Wall-clock stage latency in seconds.  The only float-bounded layout:
+#: the ingest path measures real time (span stages, WAL sync, ack
+#: round-trips), unlike the engine metrics, which stay in logical units.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Normalized label pairs: sorted ``(key, value)`` tuples.
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def normalize_labels(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    """Sorted, stringified label pairs — the registry's canonical form."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def format_sample_name(name: str, labels: LabelPairs) -> str:
+    """Canonical sample key: ``name`` or ``name{k="v",...}`` (escaped)."""
+    if not labels:
+        return name
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in labels
+    )
+    return name + "{" + body + "}"
+
 
 class Counter:
     """A monotonically increasing count."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels", "key")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()):
         self.name = name
         self.help = help
+        self.labels = labels
+        self.key = format_sample_name(name, labels)
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
     def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value})"
+        return f"Counter({self.key}={self.value})"
 
 
 class Gauge:
     """A point-in-time sample (state size, buffer depth, bounds)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels", "key")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()):
         self.name = name
         self.help = help
+        self.labels = labels
+        self.key = format_sample_name(name, labels)
         self.value = 0
 
-    def set(self, value: int) -> None:
+    def set(self, value: float) -> None:
         self.value = value
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name}={self.value})"
+        return f"Gauge({self.key}={self.value})"
 
 
 class Histogram:
@@ -93,13 +130,14 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "bounds", "counts", "total", "count")
+    __slots__ = ("name", "help", "bounds", "counts", "total", "count", "labels", "key")
 
     def __init__(
         self,
         name: str,
         help: str = "",
-        buckets: Sequence[int] = DEFAULT_BUCKETS,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: LabelPairs = (),
     ):
         bounds = tuple(buckets)
         if not bounds or any(b >= a for b, a in zip(bounds, bounds[1:])):
@@ -108,12 +146,14 @@ class Histogram:
             )
         self.name = name
         self.help = help
+        self.labels = labels
+        self.key = format_sample_name(name, labels)
         self.bounds = bounds
         self.counts: List[int] = [0] * (len(bounds) + 1)  # last = +Inf
         self.total = 0
         self.count = 0
 
-    def observe(self, value: int) -> None:
+    def observe(self, value: float) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
@@ -144,7 +184,7 @@ class Histogram:
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ConfigurationError(
-                f"cannot merge histogram {self.name!r}: bucket bounds differ "
+                f"cannot merge histogram {self.key!r}: bucket bounds differ "
                 f"({self.bounds!r} vs {other.bounds!r})"
             )
         for index, bucket_count in enumerate(other.counts):
@@ -163,18 +203,18 @@ class Histogram:
         }
 
     def __repr__(self) -> str:
-        return f"Histogram({self.name}, count={self.count}, mean={self.mean():.2f})"
+        return f"Histogram({self.key}, count={self.count}, mean={self.mean():.2f})"
 
 
 class MetricsRegistry:
-    """Insertion-ordered collection of metrics, keyed by name.
+    """Insertion-ordered collection of metrics, keyed by sample name.
 
-    Registration is idempotent: asking for an existing name returns the
-    existing object (engines, the reorder tier, and the resilient
-    runner can all register against one registry without coordination),
-    but re-registering under a different kind or bucket layout raises —
-    a name collision would silently corrupt whichever party registered
-    first.
+    Registration is idempotent: asking for an existing name (and label
+    set — a labeled metric is one time series per distinct label
+    combination, ``repro_stage_seconds{stage="sync"}``) returns the
+    existing object, but re-registering under a different kind or
+    bucket layout raises — a name collision would silently corrupt
+    whichever party registered first.
     """
 
     __slots__ = ("_metrics",)
@@ -184,33 +224,52 @@ class MetricsRegistry:
 
     # -- registration -----------------------------------------------------------
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._register(name, Counter, lambda: Counter(name, help))
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        pairs = normalize_labels(labels)
+        key = format_sample_name(name, pairs)
+        return self._register(key, Counter, lambda: Counter(name, help, pairs))
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._register(name, Gauge, lambda: Gauge(name, help))
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        pairs = normalize_labels(labels)
+        key = format_sample_name(name, pairs)
+        return self._register(key, Gauge, lambda: Gauge(name, help, pairs))
 
     def histogram(
         self,
         name: str,
         help: str = "",
-        buckets: Sequence[int] = DEFAULT_BUCKETS,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        metric = self._register(name, Histogram, lambda: Histogram(name, help, buckets))
+        pairs = normalize_labels(labels)
+        key = format_sample_name(name, pairs)
+        metric = self._register(
+            key, Histogram, lambda: Histogram(name, help, buckets, pairs)
+        )
         if metric.bounds != tuple(buckets):
             raise ConfigurationError(
-                f"histogram {name!r} already registered with buckets "
+                f"histogram {key!r} already registered with buckets "
                 f"{metric.bounds!r}, not {tuple(buckets)!r}"
             )
         return metric
 
-    def _register(self, name: str, kind: type, build: Callable[[], Any]) -> Any:
-        metric = self._metrics.get(name)
+    def _register(self, key: str, kind: type, build: Callable[[], Any]) -> Any:
+        metric = self._metrics.get(key)
         if metric is None:
-            metric = self._metrics[name] = build()
+            metric = self._metrics[key] = build()
         elif type(metric) is not kind:
             raise ConfigurationError(
-                f"metric {name!r} already registered as {metric.kind}, "
+                f"metric {key!r} already registered as {metric.kind}, "
                 f"not {kind.kind}"
             )
         return metric
@@ -235,23 +294,40 @@ class MetricsRegistry:
     # -- state ------------------------------------------------------------------
 
     def snapshot_state(self) -> dict:
-        """Full registry contents as a JSON-able dict."""
+        """Full registry contents as a JSON-able dict.
+
+        Keys are canonical sample names (labels rendered in); labeled
+        metrics carry their base ``name`` and ``labels`` in the payload
+        so restore/merge can re-register them structurally.
+        """
         counters: Dict[str, Any] = {}
         gauges: Dict[str, Any] = {}
         histograms: Dict[str, Any] = {}
-        for name, metric in self._metrics.items():
+        for key, metric in self._metrics.items():
             if metric.kind == "counter":
-                counters[name] = {"help": metric.help, "value": metric.value}
+                payload: Dict[str, Any] = {"help": metric.help, "value": metric.value}
+                if metric.labels:
+                    payload["name"] = metric.name
+                    payload["labels"] = dict(metric.labels)
+                counters[key] = payload
             elif metric.kind == "gauge":
-                gauges[name] = {"help": metric.help, "value": metric.value}
+                payload = {"help": metric.help, "value": metric.value}
+                if metric.labels:
+                    payload["name"] = metric.name
+                    payload["labels"] = dict(metric.labels)
+                gauges[key] = payload
             else:
-                histograms[name] = {
+                payload = {
                     "help": metric.help,
                     "bounds": list(metric.bounds),
                     "counts": list(metric.counts),
                     "total": metric.total,
                     "count": metric.count,
                 }
+                if metric.labels:
+                    payload["name"] = metric.name
+                    payload["labels"] = dict(metric.labels)
+                histograms[key] = payload
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def restore_state(self, state: dict) -> None:
@@ -264,16 +340,23 @@ class MetricsRegistry:
         :meth:`repro.core.stats.EngineStats.restore_from`.
         """
         snapshot_names = set()
-        for name, payload in state.get("counters", {}).items():
-            snapshot_names.add(name)
-            self.counter(name, payload.get("help", "")).value = payload["value"]
-        for name, payload in state.get("gauges", {}).items():
-            snapshot_names.add(name)
-            self.gauge(name, payload.get("help", "")).value = payload["value"]
-        for name, payload in state.get("histograms", {}).items():
-            snapshot_names.add(name)
+        for key, payload in state.get("counters", {}).items():
+            snapshot_names.add(key)
+            self.counter(
+                payload.get("name", key), payload.get("help", ""),
+                payload.get("labels"),
+            ).value = payload["value"]
+        for key, payload in state.get("gauges", {}).items():
+            snapshot_names.add(key)
+            self.gauge(
+                payload.get("name", key), payload.get("help", ""),
+                payload.get("labels"),
+            ).value = payload["value"]
+        for key, payload in state.get("histograms", {}).items():
+            snapshot_names.add(key)
             metric = self.histogram(
-                name, payload.get("help", ""), tuple(payload["bounds"])
+                payload.get("name", key), payload.get("help", ""),
+                tuple(payload["bounds"]), payload.get("labels"),
             )
             metric.counts = list(payload["counts"])
             metric.total = payload["total"]
@@ -300,17 +383,24 @@ class MetricsRegistry:
         metrics so they never collide with the router's own).
         """
         transform = rename if rename is not None else (lambda name: name)
-        for name, payload in state.get("counters", {}).items():
-            self.counter(transform(name), payload.get("help", "")).inc(payload["value"])
-        for name, payload in state.get("gauges", {}).items():
-            gauge = self.gauge(transform(name), payload.get("help", ""))
+        for key, payload in state.get("counters", {}).items():
+            self.counter(
+                transform(payload.get("name", key)), payload.get("help", ""),
+                payload.get("labels"),
+            ).inc(payload["value"])
+        for key, payload in state.get("gauges", {}).items():
+            gauge = self.gauge(
+                transform(payload.get("name", key)), payload.get("help", ""),
+                payload.get("labels"),
+            )
             if payload["value"] > gauge.value:
                 gauge.value = payload["value"]
-        for name, payload in state.get("histograms", {}).items():
+        for key, payload in state.get("histograms", {}).items():
             metric = self.histogram(
-                transform(name), payload.get("help", ""), tuple(payload["bounds"])
+                transform(payload.get("name", key)), payload.get("help", ""),
+                tuple(payload["bounds"]), payload.get("labels"),
             )
-            incoming = Histogram(name, buckets=tuple(payload["bounds"]))
+            incoming = Histogram(key, buckets=tuple(payload["bounds"]))
             incoming.counts = list(payload["counts"])
             incoming.total = payload["total"]
             incoming.count = payload["count"]

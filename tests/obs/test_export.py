@@ -3,16 +3,19 @@
 from __future__ import annotations
 
 import io
+import random
 
 import pytest
 
 from repro.obs.export import (
     MetricsJsonWriter,
+    parse_help_lines,
     parse_prometheus,
+    parse_sample_line,
     read_metrics_jsonl,
     render_prometheus,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, format_sample_name
 
 
 def _populated_registry() -> MetricsRegistry:
@@ -85,3 +88,94 @@ def test_json_writer_lines_restore_into_a_registry():
     assert fresh.get("repro_events_total").value == 50
     assert fresh.get("repro_latency").count == 4
     assert fresh.snapshot_state() == records[1]["metrics"]
+
+
+# -- escaping round-trip property --------------------------------------------------
+
+
+#: Characters exposition escaping must survive: backslashes, quotes,
+#: newlines, spaces, braces, commas, equals — alone and adjacent.
+_NASTY_FRAGMENTS = [
+    "\\", '"', "\n", " ", "{", "}", ",", "=", "\\n", '\\"', "\\\\",
+    'a"b', "tail\\", "\nlead", 'mix\\"\n, ok=1}',
+]
+
+
+def _random_nasty(rng: random.Random) -> str:
+    return "".join(
+        rng.choice(_NASTY_FRAGMENTS + ["plain", "x1", "µ"])
+        for _ in range(rng.randint(1, 5))
+    )
+
+
+def test_sample_line_round_trips_nasty_label_values():
+    rng = random.Random(20260808)
+    for trial in range(200):
+        labels = {
+            f"l{i}": _random_nasty(rng) for i in range(rng.randint(1, 3))
+        }
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_nasty_total", "n", labels=labels)
+        counter.inc(trial + 1)
+        line = [
+            ln for ln in render_prometheus(registry).splitlines()
+            if ln and not ln.startswith("#")
+        ][0]
+        name, parsed, value = parse_sample_line(line)
+        assert name == "repro_nasty_total"
+        assert dict(parsed) == labels, f"trial {trial}: {line!r}"
+        assert value == trial + 1
+
+
+def test_parse_prometheus_keys_are_canonical_for_nasty_labels():
+    rng = random.Random(7)
+    registry = MetricsRegistry()
+    expected = {}
+    for i in range(30):
+        labels = {"v": _random_nasty(rng)}
+        gauge = registry.gauge("repro_nasty_now", "g", labels=labels)
+        gauge.set(i)
+        expected[format_sample_name("repro_nasty_now", tuple(sorted(labels.items())))] = i
+    samples = parse_prometheus(render_prometheus(registry))
+    for key, value in expected.items():
+        assert samples[key] == value
+
+
+def test_help_text_round_trips_escapes():
+    rng = random.Random(99)
+    for __ in range(50):
+        help_text = _random_nasty(rng)
+        registry = MetricsRegistry()
+        registry.counter("repro_h_total", help_text).inc()
+        text = render_prometheus(registry)
+        # One logical HELP line regardless of embedded newlines.
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert len(help_lines) == 1
+        assert parse_help_lines(text)["repro_h_total"] == help_text
+
+
+def test_labeled_histogram_renders_le_alongside_labels():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_stagey", "h", buckets=(1, 2), labels={"stage": "a b"}
+    )
+    histogram.observe(1.5)
+    samples = parse_prometheus(render_prometheus(registry))
+    # ``le`` is appended after the metric's own (sorted) labels.
+    assert samples['repro_stagey_bucket{stage="a b",le="2"}'] == 1
+    assert samples['repro_stagey_bucket{stage="a b",le="+Inf"}'] == 1
+    assert samples['repro_stagey_count{stage="a b"}'] == 1
+
+
+def test_parse_sample_line_rejects_malformed():
+    for bad in (
+        "",
+        "{}",
+        'name{x="unterminated} 1',
+        'name{x="v"',
+        'name{x=unquoted} 1',
+        'name{x="v"} ',
+        'name{x="dangling\\',
+    ):
+        with pytest.raises(ValueError):
+            parse_sample_line(bad)

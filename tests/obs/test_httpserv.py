@@ -1,0 +1,121 @@
+"""The telemetry sidecar: routes, failure shapes, lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.obs.httpserv import TelemetryServer, http_get
+
+
+class _Loop:
+    """A telemetry server on its own daemon-thread loop (sync tests)."""
+
+    def __init__(self, routes):
+        self.server = TelemetryServer("127.0.0.1", 0, routes)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.started = threading.Event()
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+
+        async def main():
+            await self.server.start()
+            self.started.set()
+            await self.stopping
+
+        self.stopping = self.loop.create_future()
+        try:
+            self.loop.run_until_complete(main())
+        finally:
+            self.loop.close()
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.started.wait(5.0)
+        return self.server
+
+    def __exit__(self, *exc):
+        async def stop():
+            await self.server.stop()
+            self.stopping.set_result(None)
+
+        asyncio.run_coroutine_threadsafe(stop(), self.loop).result(5.0)
+        self.thread.join(5.0)
+
+
+def _routes():
+    return {
+        "/ok": lambda: (200, "text/plain", "fine\n"),
+        "/json": lambda: (200, "application/json", '{"a": 1}\n'),
+        "/boom": lambda: (_ for _ in ()).throw(RuntimeError("panel broke")),
+    }
+
+
+def test_routes_and_errors():
+    with _Loop(_routes()) as server:
+        port = server.port
+        status, body = http_get("127.0.0.1", port, "/ok")
+        assert (status, body) == (200, "fine\n")
+        status, body = http_get("127.0.0.1", port, "/json")
+        assert status == 200 and '"a": 1' in body
+
+        # Unknown path lists what exists.
+        status, body = http_get("127.0.0.1", port, "/nope")
+        assert status == 404
+        assert "/ok" in body and "/json" in body
+
+        # A broken panel answers 500 without killing the loop.
+        status, body = http_get("127.0.0.1", port, "/boom")
+        assert status == 500 and "panel broke" in body
+        status, __ = http_get("127.0.0.1", port, "/ok")
+        assert status == 200
+
+
+def test_query_strings_are_stripped():
+    with _Loop(_routes()) as server:
+        status, __ = http_get("127.0.0.1", server.port, "/ok?x=1")
+        assert status == 200
+
+
+def test_non_get_is_rejected():
+    with _Loop(_routes()) as server:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(b"POST /ok HTTP/1.1\r\nHost: x\r\n\r\n")
+            raw = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.1 405")
+
+
+def test_garbage_request_line_closes_quietly():
+    with _Loop(_routes()) as server:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(b"nonsense\r\n\r\n")
+            assert sock.recv(4096) == b""
+        # The loop is still serving.
+        status, __ = http_get("127.0.0.1", server.port, "/ok")
+        assert status == 200
+
+
+def test_port_before_start_raises():
+    server = TelemetryServer("127.0.0.1", 0, {})
+    with pytest.raises(RuntimeError):
+        server.port
+
+
+def test_stop_refuses_new_connections():
+    loop_holder = _Loop(_routes())
+    with loop_holder as server:
+        port = server.port
+        status, __ = http_get("127.0.0.1", port, "/ok")
+        assert status == 200
+    with pytest.raises(OSError):
+        http_get("127.0.0.1", port, "/ok", timeout=1.0)

@@ -191,7 +191,10 @@ class TestCliMetricsOut:
         assert code == 0
 
         records = read_metrics_jsonl(out.read_text())
-        assert [r["seq"] for r in records] == [50, 100, 150, 200, 200]
+        # The final boundary lands exactly on the cadence: the close-time
+        # snapshot replaces the periodic one (no duplicate seq 200), and
+        # it is the post-seal registry.
+        assert [r["seq"] for r in records] == [50, 100, 150, 200]
         # Each line's payload feeds restore_state; the registry then
         # snapshots back to exactly the recorded dict.
         for record in records:
@@ -204,6 +207,20 @@ class TestCliMetricsOut:
         assert samples["repro_events_total"] == 200
         final = records[-1]["metrics"]["counters"]["repro_matches_total"]["value"]
         assert samples["repro_matches_total"] == final
+
+    def test_partial_final_interval_is_flushed(self, tmp_path):
+        """A trace length off the cadence still ends with a snapshot."""
+        path = tmp_path / "trace.jsonl"
+        dump_trace(_trace(count=130), path)
+        out = tmp_path / "metrics.jsonl"
+        code = main(
+            ["run", "--query", QUERY, "--trace", str(path), "--k", "5",
+             "--metrics-out", str(out), "--metrics-every", "50"]
+        )
+        assert code == 0
+        records = read_metrics_jsonl(out.read_text())
+        assert [r["seq"] for r in records] == [50, 100, 130]
+        assert records[-1]["metrics"]["counters"]["repro_events_total"]["value"] == 130
 
     def test_final_only_snapshot_without_every(self, tmp_path, trace_path):
         out = tmp_path / "final.jsonl"
