@@ -190,7 +190,9 @@ def run_experiment(quick: bool = False) -> str:
         [[r["workers"], r["backend"], r["seconds"], r["events_per_sec"],
           r["speedup_vs_serial"], r["matches"]] for r in parallel_rows],
         note="identical result sets asserted per row; single-CPU hosts and the "
-             "GIL bound pool gains — recorded honestly",
+             "GIL bound pool gains — recorded honestly; close-time map now "
+             "sizes one pool to the work and maps with an explicit chunksize "
+             "(len/4*workers) instead of default chunking",
     )
     return write_result("e16_batch_parallel", text)
 

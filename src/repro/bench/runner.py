@@ -26,13 +26,17 @@ from repro.core.inorder import InOrderEngine
 from repro.core.oracle import OfflineOracle
 from repro.core.partition import ParallelPartitionedEngine, PartitionedEngine
 from repro.core.pattern import Pattern
+from repro.core.pipeline import PipelinedPartitionedEngine
 from repro.core.purge import PurgePolicy
 from repro.core.reorder import ReorderingEngine
 from repro.core.shedding import ShedPolicy
 from repro.metrics.latency import summarize_arrival_latency, summarize_occurrence_latency
 from repro.metrics.quality import QualityReport, compare_keys
 
-ENGINE_NAMES = ("ooo", "inorder", "reorder", "aggressive", "partitioned", "parallel")
+ENGINE_NAMES = (
+    "ooo", "inorder", "reorder", "aggressive", "partitioned", "parallel",
+    "pipeline",
+)
 
 
 def make_engine(
@@ -44,7 +48,7 @@ def make_engine(
     index: bool = True,
     key: Optional[str] = None,
     workers: int = 1,
-    backend: str = "thread",
+    backend: Optional[str] = None,
     shed: Optional[ShedPolicy] = None,
     speculative: bool = False,
     controller=None,
@@ -56,17 +60,27 @@ def make_engine(
     ``reorder``     K-slack buffer-and-sort in front of the baseline
     ``aggressive``  optimistic emit + revocations (extension)
     ``partitioned`` per-key sub-engines, serial routing
-    ``parallel``    partitioned with a worker pool (*workers*, *backend*)
+    ``parallel``    partitioned with a close-time worker pool (*workers*,
+                    *backend*; the PR-1 barrier design)
+    ``pipeline``    partitioned over long-lived workers with columnar
+                    batches and epoch-ordered streaming output
+                    (*workers*, *backend*)
+
+    *backend* ``None`` resolves to each family's native default:
+    ``thread`` for ``parallel`` (its pool maps once at close, where
+    pickling dominates), ``process`` for ``pipeline`` (long-lived
+    workers amortise start-up and escape the GIL).
 
     *speculative* / *controller* (the optimistic side-stream and the
     adaptive-K policy) apply to the ``ooo`` and ``partitioned`` families
-    (``parallel`` only at ``workers=1``); other strategies reject them —
+    (``parallel``/``pipeline`` only at ``workers=1``); other strategies
+    reject them —
     the aggressive engine already has its own optimistic protocol, and
     the reorder/inorder baselines have no pending matches to speculate
     on.
     """
     if speculative or controller is not None:
-        if name not in ("ooo", "partitioned", "parallel"):
+        if name not in ("ooo", "partitioned", "parallel", "pipeline"):
             raise ConfigurationError(
                 "speculative/adaptive modes are supported by the ooo and "
                 f"partitioned engine families, not {name!r}"
@@ -113,6 +127,18 @@ def make_engine(
             speculative=speculative,
             controller=controller,
         )
+    if name == "pipeline":
+        return PipelinedPartitionedEngine(
+            pattern,
+            k=k,
+            purge=purge,
+            key=key,
+            index=index,
+            workers=workers,
+            backend=backend or "process",
+            speculative=speculative,
+            controller=controller,
+        )
     if name == "parallel":
         return ParallelPartitionedEngine(
             pattern,
@@ -121,7 +147,7 @@ def make_engine(
             key=key,
             index=index,
             workers=workers,
-            backend=backend,
+            backend=backend or "thread",
             speculative=speculative,
             controller=controller,
         )

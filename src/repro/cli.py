@@ -74,7 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--engine",
         default="ooo",
-        choices=["ooo", "inorder", "reorder", "aggressive", "partitioned", "parallel"],
+        choices=[
+            "ooo", "inorder", "reorder", "aggressive", "partitioned",
+            "parallel", "pipeline",
+        ],
     )
     run.add_argument("--k", type=int, default=None, help="disorder bound K")
     run.add_argument(
@@ -86,11 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--workers", type=int, default=1,
-        help="worker pool size for --engine parallel (1 = serial fallback)",
+        help="worker count for --engine parallel/pipeline (1 = serial fallback)",
     )
     run.add_argument(
-        "--backend", default="thread", choices=["thread", "process"],
-        help="pool backend for --engine parallel",
+        "--backend", default=None, choices=["thread", "process", "pipeline"],
+        help="worker backend for --engine parallel/pipeline (default: thread "
+             "for parallel, process for pipeline); `--backend pipeline` is "
+             "shorthand for `--engine pipeline` with process workers",
     )
     run.add_argument(
         "--no-index", action="store_true",
@@ -304,6 +309,11 @@ def _parse_disorder(text: str):
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.backend == "pipeline":
+        # Shorthand: `--backend pipeline` selects the pipelined engine
+        # with its native process workers.
+        args.engine = "pipeline"
+        args.backend = None
     pattern = parse(args.query)
     elements = load_trace(args.trace)
     purge = _parse_purge(args.purge)

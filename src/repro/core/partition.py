@@ -25,6 +25,7 @@ events, keeping every sub-engine's horizon moving.
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Dict, List, Optional
 
 from repro.core.clock import StreamClock
@@ -34,6 +35,45 @@ from repro.core.event import Event, Punctuation
 from repro.core.pattern import Match, Pattern
 from repro.core.purge import PurgePolicy
 from repro.core.stats import EngineStats
+
+
+def require_picklable_pattern(pattern: Pattern, backend: str) -> None:
+    """Fail fast — and descriptively — on process-backend pickling hazards.
+
+    A process pool (and a pipeline worker under the ``spawn`` start
+    method) must pickle the pattern; ``FnPredicate`` lambdas can't be.
+    Checking at construction, unconditionally for process backends,
+    turns a platform-dependent mid-run ``PicklingError`` deep inside the
+    pool machinery into an immediate :class:`ConfigurationError` that
+    names the offending predicates.
+    """
+    try:
+        pickle.dumps(pattern)
+        return
+    except Exception as exc:  # PicklingError, AttributeError (local fn), ...
+        from repro.core.predicates import FnPredicate
+
+        suspects = list(pattern.where)
+        for bracket in list(pattern.negations) + list(pattern.kleene):
+            suspects.extend(bracket.predicates)
+        offenders = []
+        for predicate in suspects:
+            if isinstance(predicate, FnPredicate):
+                try:
+                    pickle.dumps(predicate)
+                except Exception:
+                    offenders.append(repr(predicate))
+        if offenders:
+            raise ConfigurationError(
+                f"backend={backend!r} runs workers in separate processes, but "
+                f"pattern {pattern.name!r} holds unpicklable predicates: "
+                f"{', '.join(offenders)}. Use named module-level functions "
+                "instead of lambdas/closures in FnPredicate, or backend='thread'."
+            ) from exc
+        raise ConfigurationError(
+            f"backend={backend!r} requires a picklable pattern, but "
+            f"{pattern.name!r} failed to pickle: {exc}"
+        ) from exc
 
 
 def detect_partition_key(pattern: Pattern) -> str:
@@ -456,6 +496,8 @@ class ParallelPartitionedEngine(PartitionedEngine):
             raise ConfigurationError(
                 f"backend must be 'thread' or 'process', got {backend!r}"
             )
+        if backend == "process" and workers > 1:
+            require_picklable_pattern(pattern, backend)
         self.workers = workers
         self.backend = backend
         self._routed: Dict[Any, List[Event]] = {}
@@ -594,16 +636,30 @@ class ParallelPartitionedEngine(PartitionedEngine):
     def _map(self, payloads: List) -> List:
         if not payloads:
             return []
+        # One pool for the whole close-time map (the run's single
+        # fan-out), sized to the work at hand and mapped with an
+        # explicit chunksize derived from the partition count: the
+        # default chunksize is tuned for huge iterables and would hand
+        # some workers nothing when partitions barely exceed workers.
+        # The pool lives only inside this call — it never becomes
+        # engine state, so snapshots have no handle to lose.
         pool_size = min(self.workers, len(payloads))
+        chunksize = max(1, len(payloads) // (pool_size * 4))
         if self.backend == "process":
             import multiprocessing
 
-            with multiprocessing.Pool(pool_size) as pool:
-                return pool.map(_run_partition, payloads)
+            pool = multiprocessing.Pool(pool_size)
+            try:
+                return pool.map(_run_partition, payloads, chunksize=chunksize)
+            finally:
+                pool.close()
+                pool.join()
         from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            return list(pool.map(_run_partition, payloads))
+        with ThreadPoolExecutor(max_workers=pool_size) as executor:
+            return list(
+                executor.map(_run_partition, payloads, chunksize=chunksize)
+            )
 
     def merged_substats(self):
         if self.workers == 1:

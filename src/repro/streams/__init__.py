@@ -20,6 +20,7 @@ from repro.streams.kslack import (
 )
 from repro.streams.merge import OrderedMerge, interleave_by_arrival, merge_ordered_streams
 from repro.streams.punctuation import (
+    EpochLedger,
     HeartbeatPunctuator,
     PeriodicPunctuator,
     strip_punctuation,
@@ -41,6 +42,7 @@ __all__ = [
     "ControllerDecision",
     "DelayModel",
     "DisorderStats",
+    "EpochLedger",
     "EventSource",
     "FixedK",
     "HeartbeatPunctuator",

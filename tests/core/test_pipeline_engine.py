@@ -1,0 +1,216 @@
+"""Pipelined epoch-ordered parallelism (repro.core.pipeline).
+
+The contract under test: ``PipelinedPartitionedEngine`` reproduces the
+serial ``PartitionedEngine``'s flat emission sequence **exactly** — as
+an ordered sequence, not a set — at every worker count, on both
+backends, mid-run and at close, across snapshot/restore and through
+the exactly-once recovery runner.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    Event,
+    FnPredicate,
+    ParallelPartitionedEngine,
+    PartitionedEngine,
+    PipelinedPartitionedEngine,
+    Punctuation,
+    SnapshotError,
+    parse,
+)
+from repro.bench import make_engine
+from repro.core.recovery import DELIVERED_NAME, ResilientRunner
+from repro.faultinject import CrashError, FaultInjector
+
+QUERY = "PATTERN SEQ(A a, B b, C c) WHERE a.tag == b.tag AND b.tag == c.tag WITHIN 40"
+
+
+@pytest.fixture
+def pattern():
+    return parse(QUERY)
+
+
+def _trace(seed=11, n=1500, tags=6):
+    rng = random.Random(seed)
+    events = []
+    for i in range(n):
+        ts = max(0, i + rng.randrange(-8, 9))
+        events.append(Event(rng.choice("ABC"), ts, {"tag": rng.randrange(tags)}))
+    return events
+
+
+def _run_keys(engine, elements):
+    out = []
+    for element in elements:
+        out.extend(engine.feed(element))
+    out.extend(engine.close())
+    return [m.key() for m in out]
+
+
+def _serial_keys(pattern, elements, **kwargs):
+    return _run_keys(PartitionedEngine(pattern, k=10, **kwargs), elements)
+
+
+class TestOrderedIdentity:
+    def test_workers_1_is_the_serial_engine(self, pattern):
+        events = _trace()
+        serial = _serial_keys(pattern, events)
+        pipe = PipelinedPartitionedEngine(pattern, k=10, workers=1)
+        assert _run_keys(pipe, events) == serial
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_ordered_sequence_identical_to_serial(self, pattern, backend, workers):
+        events = _trace()
+        serial = _serial_keys(pattern, events)
+        pipe = PipelinedPartitionedEngine(
+            pattern, k=10, workers=workers, backend=backend
+        )
+        assert _run_keys(pipe, events) == serial
+
+    def test_streams_sealed_matches_mid_run(self, pattern):
+        events = _trace()
+        engine = PipelinedPartitionedEngine(
+            pattern, k=10, workers=2, backend="thread"
+        )
+        before_close = 0
+        for event in events:
+            before_close += len(engine.feed(event))
+        closed = len(engine.close())
+        assert before_close > 0, "no output until close — that's the barrier design"
+        assert before_close > closed
+
+    def test_explicit_punctuation_interleaved(self, pattern):
+        events = _trace(seed=3, n=900)
+        elements = []
+        for i, event in enumerate(events):
+            elements.append(event)
+            if i % 150 == 149:
+                elements.append(Punctuation(max(0, event.ts - 12)))
+        serial = _run_keys(PartitionedEngine(pattern, k=10), elements)
+        pipe = PipelinedPartitionedEngine(
+            pattern, k=10, workers=2, backend="thread"
+        )
+        assert _run_keys(pipe, elements) == serial
+
+    def test_epoch_ledger_records_seals(self, pattern):
+        events = _trace(seed=3, n=600)
+        engine = PipelinedPartitionedEngine(
+            pattern, k=10, workers=2, backend="thread"
+        )
+        _run_keys(engine, events)
+        ledger = engine.epoch_ledger
+        assert ledger.count > 0
+        recent = ledger.recent()
+        assert [epoch for epoch, _ in recent] == sorted(
+            epoch for epoch, _ in recent
+        )
+        last_epoch, last_ts = recent[-1]
+        assert ledger.ts_of(last_epoch) == last_ts
+        assert ledger.last_ts == last_ts
+
+
+class TestConfiguration:
+    def test_make_engine_pipeline(self, pattern):
+        engine = make_engine("pipeline", pattern, k=10, workers=2)
+        assert isinstance(engine, PipelinedPartitionedEngine)
+        assert engine.backend == "process"
+        assert make_engine("pipeline", pattern, k=10, workers=2,
+                           backend="thread").backend == "thread"
+
+    def test_rejects_bad_workers_and_backend(self, pattern):
+        with pytest.raises(ConfigurationError):
+            PipelinedPartitionedEngine(pattern, k=10, workers=0)
+        with pytest.raises(ConfigurationError):
+            PipelinedPartitionedEngine(pattern, k=10, workers=2, backend="mpi")
+        with pytest.raises(ConfigurationError):
+            PipelinedPartitionedEngine(
+                pattern, k=10, workers=2, speculative=True
+            )
+
+    @pytest.mark.parametrize(
+        "engine_cls", [ParallelPartitionedEngine, PipelinedPartitionedEngine]
+    )
+    def test_unpicklable_predicate_named_in_error(self, engine_cls):
+        base = parse(QUERY)
+        lambda_pred = FnPredicate(("a",), lambda b: True, label="inline-lambda")
+        pattern = type(base)(
+            base.steps, tuple(base.where) + (lambda_pred,), base.within, base.name
+        )
+        with pytest.raises(ConfigurationError, match="inline-lambda"):
+            engine_cls(pattern, k=10, workers=2, backend="process")
+        # the thread backend needs no pickling and accepts it
+        engine_cls(pattern, k=10, workers=2, backend="thread")
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_mid_run_snapshot_resumes_identically(self, pattern, backend):
+        events = _trace()
+        serial = _serial_keys(pattern, events)
+        first = PipelinedPartitionedEngine(
+            pattern, k=10, workers=2, backend=backend
+        )
+        out = []
+        for event in events[:800]:
+            out.extend(first.feed(event))
+        blob = first.snapshot()
+        second = PipelinedPartitionedEngine(
+            pattern, k=10, workers=2, backend=backend
+        )
+        second.restore(blob)
+        for event in events[800:]:
+            out.extend(second.feed(event))
+        out.extend(second.close())
+        assert [m.key() for m in out] == serial
+
+    def test_worker_count_enters_the_fingerprint(self, pattern):
+        events = _trace(n=400)
+        engine = PipelinedPartitionedEngine(
+            pattern, k=10, workers=2, backend="thread"
+        )
+        for event in events:
+            engine.feed(event)
+        blob = engine.snapshot()
+        other = PipelinedPartitionedEngine(
+            pattern, k=10, workers=3, backend="thread"
+        )
+        with pytest.raises(SnapshotError):
+            other.restore(blob)
+
+
+class TestExactlyOnce:
+    def test_crash_replay_delivers_identically(self, pattern, tmp_path):
+        events = _trace(seed=17, n=1000)
+
+        def build():
+            return PipelinedPartitionedEngine(
+                pattern, k=10, workers=2, backend="thread"
+            )
+
+        plain_dir = tmp_path / "plain"
+        plain = ResilientRunner(build(), plain_dir, checkpoint_every=200)
+        for event in events:
+            plain.feed(event)
+        plain.close()
+
+        crash_dir = tmp_path / "crash"
+        injected = ResilientRunner(
+            build(), crash_dir, checkpoint_every=200,
+            fault=FaultInjector(crash_at=[777]),
+        )
+        with pytest.raises(CrashError):
+            for event in events:
+                injected.feed(event)
+
+        recovered = ResilientRunner(build(), crash_dir, checkpoint_every=200)
+        assert recovered.recovered
+        recovered.run(events)
+        recovered.close()
+        assert (crash_dir / DELIVERED_NAME).read_bytes() == (
+            plain_dir / DELIVERED_NAME
+        ).read_bytes()
